@@ -1,0 +1,54 @@
+//! The common interface of all accelerator baselines.
+
+use pcnna_cnn::geometry::ConvGeometry;
+use pcnna_electronics::time::SimTime;
+
+/// An accelerator that can execute a convolution layer.
+pub trait AcceleratorModel {
+    /// Engine name for reports (e.g. `"eyeriss"`).
+    fn name(&self) -> &str;
+
+    /// Estimated execution time of one conv layer.
+    fn layer_time(&self, g: &ConvGeometry) -> SimTime;
+
+    /// Estimated energy of one conv layer, joules. Default: derived from
+    /// [`AcceleratorModel::average_power_w`].
+    fn layer_energy_j(&self, g: &ConvGeometry) -> f64 {
+        self.layer_time(g).as_secs_f64() * self.average_power_w()
+    }
+
+    /// Average power draw while computing, watts.
+    fn average_power_w(&self) -> f64;
+
+    /// Total time over a list of layers.
+    fn network_time(&self, layers: &[(&str, ConvGeometry)]) -> SimTime {
+        layers.iter().map(|(_, g)| self.layer_time(g)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+    impl AcceleratorModel for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn layer_time(&self, _g: &ConvGeometry) -> SimTime {
+            SimTime::from_us(10)
+        }
+        fn average_power_w(&self) -> f64 {
+            0.5
+        }
+    }
+
+    #[test]
+    fn default_energy_and_network_time() {
+        let m = Fixed;
+        let g = ConvGeometry::new(8, 3, 1, 1, 2, 4).unwrap();
+        assert!((m.layer_energy_j(&g) - 5e-6).abs() < 1e-12);
+        let layers = [("a", g), ("b", g)];
+        assert_eq!(m.network_time(&layers), SimTime::from_us(20));
+    }
+}

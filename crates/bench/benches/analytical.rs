@@ -1,0 +1,34 @@
+//! Benchmarks the analytical execution-time framework (eq. (6)–(8)) over
+//! AlexNet and VGG-16, in both bottleneck models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcnna_cnn::zoo;
+use pcnna_core::accel::Pcnna;
+use pcnna_core::config::{BottleneckModel, PcnnaConfig};
+
+fn bench_analytical(c: &mut Criterion) {
+    let alexnet = zoo::alexnet_conv_layers();
+    let dac_only = Pcnna::new(PcnnaConfig::default()).unwrap();
+    let fuller =
+        Pcnna::new(PcnnaConfig::default().with_bottleneck(BottleneckModel::MaxOfStages)).unwrap();
+
+    c.bench_function("analytical/alexnet_dac_only", |b| {
+        b.iter(|| dac_only.analyze_conv_layers(&alexnet).unwrap())
+    });
+    c.bench_function("analytical/alexnet_max_of_stages", |b| {
+        b.iter(|| fuller.analyze_conv_layers(&alexnet).unwrap())
+    });
+
+    // VGG-16 contains layers whose receptive fields exceed the paper's
+    // SRAM; filter to the ones that fit, as a downstream user would.
+    let vgg: Vec<_> = zoo::vgg16_conv_layers()
+        .into_iter()
+        .filter(|(_, g)| g.n_kernel() <= 8192)
+        .collect();
+    c.bench_function("analytical/vgg16_fitting_layers", |b| {
+        b.iter(|| dac_only.analyze_conv_layers(&vgg).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_analytical);
+criterion_main!(benches);

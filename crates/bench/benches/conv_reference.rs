@@ -1,0 +1,36 @@
+//! Benchmarks the reference convolution kernels (the ground-truth engine
+//! every other result is validated against): direct vs. im2col on
+//! representative layer shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcnna_cnn::geometry::ConvGeometry;
+use pcnna_cnn::reference::{conv2d_direct, conv2d_im2col};
+use pcnna_cnn::winograd::{conv2d_winograd, supports};
+use pcnna_cnn::workload::Workload;
+
+fn bench_conv_reference(c: &mut Criterion) {
+    let cases = [
+        ("lenet_c1", ConvGeometry::new(28, 5, 2, 1, 1, 6).unwrap()),
+        ("cifar_c2", ConvGeometry::new(16, 3, 1, 1, 8, 16).unwrap()),
+        ("alex_c3_slice", ConvGeometry::new(13, 3, 1, 1, 64, 32).unwrap()),
+    ];
+    let mut group = c.benchmark_group("conv_reference");
+    for (name, g) in cases {
+        let wl = Workload::gaussian(&g, 1);
+        group.bench_with_input(BenchmarkId::new("direct", name), &g, |b, g| {
+            b.iter(|| conv2d_direct(g, &wl.input, &wl.kernels).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("im2col", name), &g, |b, g| {
+            b.iter(|| conv2d_im2col(g, &wl.input, &wl.kernels).unwrap())
+        });
+        if supports(&g) {
+            group.bench_with_input(BenchmarkId::new("winograd", name), &g, |b, g| {
+                b.iter(|| conv2d_winograd(g, &wl.input, &wl.kernels).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv_reference);
+criterion_main!(benches);

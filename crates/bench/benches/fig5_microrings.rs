@@ -1,0 +1,26 @@
+//! Figure 5 regeneration bench: times the full Figure 5 computation and
+//! prints the regenerated table once so `cargo bench` leaves the paper
+//! artifact in its log (EXPERIMENTS.md quotes this output).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcnna_cnn::zoo;
+use pcnna_core::mapping::{figure5, AreaModel};
+use pcnna_core::report::render_fig5;
+use std::sync::Once;
+
+static PRINT_ONCE: Once = Once::new();
+
+fn bench_fig5(c: &mut Criterion) {
+    let layers = zoo::alexnet_conv_layers();
+    PRINT_ONCE.call_once(|| {
+        println!("\n--- Figure 5 (regenerated) ---");
+        print!("{}", render_fig5(&figure5(&layers, &AreaModel::default())));
+        println!("------------------------------");
+    });
+    c.bench_function("fig5/regenerate", |b| {
+        b.iter(|| figure5(&layers, &AreaModel::default()))
+    });
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 6 regeneration bench: times the full four-engine comparison and
+//! prints the regenerated table once so `cargo bench` leaves the paper
+//! artifact in its log (EXPERIMENTS.md quotes this output).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcnna_bench::{figure6_alexnet, figure6_rows, render_fig6};
+use pcnna_cnn::zoo;
+use pcnna_core::config::PcnnaConfig;
+use std::sync::Once;
+
+static PRINT_ONCE: Once = Once::new();
+
+fn bench_fig6(c: &mut Criterion) {
+    PRINT_ONCE.call_once(|| {
+        println!("\n--- Figure 6 (regenerated) ---");
+        print!("{}", render_fig6(&figure6_alexnet()));
+        println!("------------------------------");
+    });
+    let layers = zoo::alexnet_conv_layers();
+    c.bench_function("fig6/regenerate", |b| {
+        b.iter(|| figure6_rows(PcnnaConfig::default(), &layers))
+    });
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

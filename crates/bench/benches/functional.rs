@@ -1,0 +1,41 @@
+//! Benchmarks the functional photonic convolution executor: full layers of
+//! the CIFAR-small network through the device models, ideal and noisy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcnna_cnn::geometry::ConvGeometry;
+use pcnna_cnn::workload::Workload;
+use pcnna_core::config::PcnnaConfig;
+use pcnna_core::functional::{FunctionalOptions, PhotonicConvExecutor};
+
+fn bench_functional(c: &mut Criterion) {
+    let exec = PhotonicConvExecutor::new(PcnnaConfig::default()).unwrap();
+    let mut group = c.benchmark_group("functional_conv");
+    group.sample_size(10);
+
+    let cases = [
+        ("tiny_6x6", ConvGeometry::new(6, 3, 0, 1, 2, 3).unwrap()),
+        ("cifar_c1", ConvGeometry::new(32, 3, 1, 1, 3, 8).unwrap()),
+        ("lenet_c1", ConvGeometry::new(28, 5, 2, 1, 1, 6).unwrap()),
+    ];
+    for (name, g) in cases {
+        let wl = Workload::uniform(&g, 1);
+        group.bench_with_input(BenchmarkId::new("ideal", name), &g, |b, g| {
+            b.iter(|| {
+                exec.run_layer(g, &wl.input, &wl.kernels, &FunctionalOptions::default())
+                    .unwrap()
+            })
+        });
+        let noisy = FunctionalOptions {
+            noise: true,
+            seed: 2,
+            ..FunctionalOptions::default()
+        };
+        group.bench_with_input(BenchmarkId::new("noisy", name), &g, |b, g| {
+            b.iter(|| exec.run_layer(g, &wl.input, &wl.kernels, &noisy).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_functional);
+criterion_main!(benches);

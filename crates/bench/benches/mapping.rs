@@ -1,0 +1,35 @@
+//! Benchmarks the ring-allocation mapper and Figure 5 assembly over the
+//! model zoo (AlexNet, VGG-16).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcnna_cnn::zoo;
+use pcnna_core::config::AllocationPolicy;
+use pcnna_core::mapping::{figure5, AreaModel, RingAllocation};
+
+fn bench_mapping(c: &mut Criterion) {
+    let alexnet = zoo::alexnet_conv_layers();
+    let vgg = zoo::vgg16_conv_layers();
+
+    c.bench_function("mapping/alexnet_fig5", |b| {
+        b.iter(|| figure5(&alexnet, &AreaModel::default()))
+    });
+
+    c.bench_function("mapping/vgg16_all_policies", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for (_, g) in &vgg {
+                for policy in [
+                    AllocationPolicy::Unfiltered,
+                    AllocationPolicy::Filtered,
+                    AllocationPolicy::FilteredChannelSequential,
+                ] {
+                    total += RingAllocation::for_layer(g, policy).rings;
+                }
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Benchmarks the photonic MAC datapath: weight-bank calibration, full
+//! `O(N²)` propagation, and the compiled `O(N)` fast path, at receptive-
+//! field sizes drawn from real layers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcnna_photonics::link::{BroadcastWeightLink, LinkConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn make_link(channels: usize, banks: usize, seed: u64) -> (BroadcastWeightLink, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut link = BroadcastWeightLink::new(LinkConfig::default(), channels, banks).unwrap();
+    for b in 0..banks {
+        let w: Vec<f64> = (0..channels).map(|_| rng.gen_range(-0.9..0.9)).collect();
+        link.set_weights(b, &w).unwrap();
+    }
+    let x: Vec<f64> = (0..channels).map(|_| rng.gen_range(0.0..1.0)).collect();
+    (link, x)
+}
+
+fn bench_photonic_mac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("photonic_mac");
+    for &(channels, banks) in &[(9usize, 5usize), (25, 6), (75, 8)] {
+        let (link, x) = make_link(channels, banks, 7);
+        let compiled = link.compile();
+        let label = format!("{channels}ch_{banks}k");
+        group.bench_with_input(BenchmarkId::new("full", &label), &x, |b, x| {
+            b.iter(|| link.mac_ideal(x).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("compiled", &label), &x, |b, x| {
+            b.iter(|| compiled.mac_ideal(x).unwrap())
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        group.bench_with_input(BenchmarkId::new("compiled_noisy", &label), &x, |b, x| {
+            b.iter(|| compiled.mac_noisy(x, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weight_bank_calibration");
+    for &channels in &[9usize, 25, 75] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(channels),
+            &channels,
+            |b, &channels| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let w: Vec<f64> = (0..channels).map(|_| rng.gen_range(-0.9..0.9)).collect();
+                b.iter(|| {
+                    let mut link =
+                        BroadcastWeightLink::new(LinkConfig::default(), channels, 1).unwrap();
+                    link.set_weights(0, &w).unwrap();
+                    link
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_photonic_mac, bench_calibration);
+criterion_main!(benches);

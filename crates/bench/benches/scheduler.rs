@@ -1,0 +1,36 @@
+//! Benchmarks the kernel-location scheduler: exact update-set computation
+//! (the simulator's hot loop) across layer shapes and scan orders.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcnna_cnn::zoo;
+use pcnna_core::config::ScanOrder;
+use pcnna_core::scheduler::LocationSchedule;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(10);
+    for (name, g) in zoo::alexnet_conv_layers() {
+        group.bench_with_input(
+            BenchmarkId::new("update_counts", name),
+            &g,
+            |b, g| {
+                let sched = LocationSchedule::new(*g, ScanOrder::RowMajor);
+                b.iter(|| sched.update_counts())
+            },
+        );
+    }
+    let conv4 = zoo::alexnet_conv_layers()[3].1;
+    for (label, scan) in [
+        ("row_major", ScanOrder::RowMajor),
+        ("serpentine", ScanOrder::Serpentine),
+    ] {
+        group.bench_with_input(BenchmarkId::new("stats", label), &conv4, |b, g| {
+            let sched = LocationSchedule::new(*g, scan);
+            b.iter(|| sched.stats())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Benchmarks the cycle-approximate pipeline simulator, including a full
+//! AlexNet pass (all 4261 kernel locations with exact update sets).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcnna_cnn::geometry::ConvGeometry;
+use pcnna_cnn::zoo;
+use pcnna_core::config::{PcnnaConfig, ScanOrder};
+use pcnna_core::simulator::PipelineSimulator;
+
+fn bench_simulator(c: &mut Criterion) {
+    let sim = PipelineSimulator::new(PcnnaConfig::default()).unwrap();
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+
+    let small = ConvGeometry::new(16, 3, 1, 1, 8, 16).unwrap();
+    group.bench_function("small_layer", |b| {
+        b.iter(|| sim.simulate_layer("small", &small).unwrap())
+    });
+
+    let conv4 = zoo::alexnet_conv_layers()[3].1;
+    group.bench_function("alexnet_conv4", |b| {
+        b.iter(|| sim.simulate_layer("conv4", &conv4).unwrap())
+    });
+
+    let alexnet = zoo::alexnet_conv_layers();
+    group.bench_function("alexnet_all_layers", |b| {
+        b.iter(|| sim.simulate_network(&alexnet).unwrap())
+    });
+
+    for (label, scan) in [
+        ("row_major", ScanOrder::RowMajor),
+        ("serpentine", ScanOrder::Serpentine),
+    ] {
+        let s = PipelineSimulator::new(PcnnaConfig::default().with_scan(scan)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("scan_order", label),
+            &conv4,
+            |b, g| b.iter(|| s.simulate_layer("conv4", g).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Functional-accuracy harness (extension experiment E1): runs the conv
+//! layers of the CIFAR-small network through the photonic device models
+//! under four conditions and prints the SNR table EXPERIMENTS.md records.
+
+use pcnna_cnn::workload::Workload;
+use pcnna_cnn::zoo;
+use pcnna_core::config::PcnnaConfig;
+use pcnna_core::functional::{FunctionalOptions, PhotonicConvExecutor};
+
+fn main() {
+    let exec = PhotonicConvExecutor::new(PcnnaConfig::default())
+        .expect("default config is valid");
+    let net = zoo::cifar_small();
+
+    let conditions: [(&str, FunctionalOptions); 4] = [
+        (
+            "analog only",
+            FunctionalOptions {
+                noise: false,
+                adc_quantization: false,
+                dac_quantization: false,
+                seed: 0,
+            },
+        ),
+        ("quantized I/O", FunctionalOptions::default()),
+        (
+            "quantized + noise",
+            FunctionalOptions {
+                noise: true,
+                seed: 42,
+                ..FunctionalOptions::default()
+            },
+        ),
+        (
+            "noise only",
+            FunctionalOptions {
+                noise: true,
+                seed: 42,
+                adc_quantization: false,
+                dac_quantization: false,
+            },
+        ),
+    ];
+
+    println!("E1 — photonic convolution accuracy vs the digital reference");
+    println!("network: {} (conv layers)", net.name());
+    println!();
+    print!("{:<22}", "condition");
+    for conv in net.conv_layers() {
+        print!(" {:>12}", conv.name);
+    }
+    println!();
+    for (label, opts) in &conditions {
+        print!("{label:<22}");
+        for (i, conv) in net.conv_layers().enumerate() {
+            let wl = Workload::uniform(&conv.geometry, 300 + i as u64);
+            let run = exec
+                .run_layer(&conv.geometry, &wl.input, &wl.kernels, opts)
+                .expect("layer fits the photonic link");
+            print!(" {:>9.1} dB", run.accuracy.snr_db);
+        }
+        println!();
+    }
+    println!();
+    println!("rows: device non-idealities only / + 16b DAC & 10b ADC quantization /");
+    println!("      + shot, thermal, RIN noise at 1 mW per carrier / noise without quantization");
+}

@@ -1,0 +1,39 @@
+//! Spectral-feasibility harness (reproduction extension): checks every
+//! layer of AlexNet, VGG-16, GoogLeNet-stem and ResNet-18 against the
+//! C-band and microring-FSR carrier budgets the paper never discusses,
+//! and reports the spectral-partitioning correction to eq. (7).
+
+use pcnna_cnn::zoo;
+use pcnna_core::config::PcnnaConfig;
+use pcnna_core::feasibility::{render_feasibility, FeasibilityModel, SpectralBudget};
+
+fn main() {
+    let budget = SpectralBudget::default();
+    let model = FeasibilityModel::new(PcnnaConfig::default(), budget)
+        .expect("default config is valid");
+    println!("spectral budgets at {} GHz spacing:", budget.channel_spacing_hz / 1e9);
+    println!("  C band        : {} channels", budget.c_band_channels());
+    println!(
+        "  ring FSR      : {} channels ({:.1} nm FSR at 10 um radius)",
+        budget.fsr_channels(),
+        budget.fsr_hz() * 1550e-9 * 1550e-9 / 2.997_924_58e8 * 1e9,
+    );
+    println!("  usable        : {} simultaneous carriers", budget.usable_channels());
+    println!();
+
+    for (net, layers) in [
+        ("AlexNet", zoo::alexnet_conv_layers()),
+        ("GoogLeNet stem + 3a", zoo::googlenet_stem_conv_layers()),
+        ("ResNet-18", zoo::resnet18_conv_layers()),
+        ("VGG-16", zoo::vgg16_conv_layers()),
+    ] {
+        println!("== {net} ==");
+        print!("{}", render_feasibility(&model.network(&layers)));
+        let rows = model.network(&layers);
+        let single = rows.iter().filter(|r| r.single_pass).count();
+        println!(
+            "{single}/{} layers run single-pass as the paper assumes\n",
+            rows.len()
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates Figure 2: the receptive-field-filtering example — a 16×16
+//! input feature map and five 3×3 kernels, with and without filtering of
+//! the non-receptive-field values.
+
+use pcnna_cnn::geometry::ConvGeometry;
+use pcnna_core::config::AllocationPolicy;
+use pcnna_core::mapping::{AreaModel, RingAllocation};
+
+fn main() {
+    let g = ConvGeometry::new(16, 3, 0, 1, 1, 5).expect("figure 2 geometry is valid");
+    let area = AreaModel::default();
+    println!("Figure 2 — MRR bank for a 16x16 input feature map, 5 kernels of 3x3");
+    println!();
+    for (label, policy) in [
+        ("(a) without filtering", AllocationPolicy::Unfiltered),
+        ("(b) with filtering   ", AllocationPolicy::Filtered),
+    ] {
+        let alloc = RingAllocation::for_layer(&g, policy);
+        println!(
+            "{label}: {:>6} wavelengths on the bus, {:>5} rings/bank x {} banks = {:>6} rings ({:.3} mm^2)",
+            alloc.wavelengths,
+            alloc.rings_per_bank,
+            alloc.banks,
+            alloc.rings,
+            area.rings_area_mm2(alloc.rings),
+        );
+    }
+    let unf = RingAllocation::for_layer(&g, AllocationPolicy::Unfiltered);
+    let fil = RingAllocation::for_layer(&g, AllocationPolicy::Filtered);
+    println!();
+    println!(
+        "filtering saves {:.1}x rings and {:.1}x wavelengths on this example",
+        unf.rings as f64 / fil.rings as f64,
+        unf.wavelengths as f64 / fil.wavelengths as f64,
+    );
+}

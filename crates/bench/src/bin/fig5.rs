@@ -1,0 +1,41 @@
+//! Regenerates Figure 5: total microrings per AlexNet convolutional layer,
+//! Filtered vs. Not-Filtered, plus the §V-A inline checks (`--check`).
+
+use pcnna_cnn::zoo;
+use pcnna_core::config::AllocationPolicy;
+use pcnna_core::mapping::{figure5, AreaModel, RingAllocation};
+use pcnna_core::report::render_fig5;
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let layers = zoo::alexnet_conv_layers();
+    let rows = figure5(&layers, &AreaModel::default());
+    println!("Figure 5 — microrings per AlexNet conv layer");
+    println!();
+    print!("{}", render_fig5(&rows));
+
+    if check {
+        println!();
+        println!("paper §V-A inline checks:");
+        let conv1 = layers[0].1;
+        let unf = RingAllocation::for_layer(&conv1, AllocationPolicy::Unfiltered);
+        let fil = RingAllocation::for_layer(&conv1, AllocationPolicy::Filtered);
+        println!(
+            "  conv1 unfiltered rings = {} (paper: ~5.2 billion)",
+            unf.rings
+        );
+        println!("  conv1 filtered rings   = {} (paper: ~35 thousand)", fil.rings);
+        println!(
+            "  saving                 = {:.0}x (paper: >150k x)",
+            fil.saving_vs_unfiltered(&conv1)
+        );
+        let conv4 = layers[3].1;
+        let seq = RingAllocation::for_layer(&conv4, AllocationPolicy::FilteredChannelSequential);
+        let area = AreaModel::default();
+        println!(
+            "  conv4 channel-sequential rings = {} -> {:.2} mm^2 (paper: 3456 rings, 2.2 mm^2)",
+            seq.rings,
+            area.rings_area_mm2(seq.rings)
+        );
+    }
+}

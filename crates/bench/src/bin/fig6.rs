@@ -1,0 +1,58 @@
+//! Regenerates Figure 6: per-layer execution time of AlexNet convolutions
+//! on PCNNA(O), PCNNA(O+E), Eyeriss-like and YodaNN-like engines, with the
+//! eq. (8) detail and the paper's two headline speedup claims.
+
+use pcnna_bench::{figure6_alexnet, render_fig6};
+use pcnna_cnn::zoo;
+use pcnna_core::accel::Pcnna;
+use pcnna_core::config::{BottleneckModel, PcnnaConfig};
+
+fn main() {
+    println!("Figure 6 — execution time of AlexNet conv layers");
+    println!();
+    let rows = figure6_alexnet();
+    print!("{}", render_fig6(&rows));
+    println!();
+
+    // eq. (8) detail for the largest layer
+    let layers = zoo::alexnet_conv_layers();
+    let accel = Pcnna::new(PcnnaConfig::default()).expect("default config is valid");
+    let report = accel
+        .analyze_conv_layers(&layers)
+        .expect("alexnet fits the paper design point");
+    let conv4 = &report.layers[3];
+    println!(
+        "eq. (8) check, conv4: nc*m*s = {} updates / 10 DACs -> {} per location",
+        conv4.timing.updates_per_location, conv4.timing.dac_time_per_location
+    );
+
+    let best_oe = rows
+        .iter()
+        .map(|r| r.speedup_oe_vs_eyeriss())
+        .fold(0.0, f64::max);
+    let best_o = rows
+        .iter()
+        .map(|r| r.speedup_o_vs_eyeriss())
+        .fold(0.0, f64::max);
+    println!();
+    println!("paper claims:");
+    println!("  full system  > 3 orders of magnitude: best O+E speedup = {best_oe:.0}x");
+    println!("  optical core > 5 orders of magnitude: best O   speedup = {best_o:.0}x");
+
+    // Reproduction extension: what the fuller bottleneck model says.
+    let fuller = Pcnna::new(PcnnaConfig::default().with_bottleneck(BottleneckModel::MaxOfStages))
+        .expect("config is valid");
+    let full_report = fuller
+        .analyze_conv_layers(&layers)
+        .expect("alexnet fits the paper design point");
+    println!();
+    println!("reproduction extension — max-of-stages bottleneck model:");
+    for l in &full_report.layers {
+        println!(
+            "  {:<7} {:>12}  bound by {}",
+            l.name,
+            l.full_system_time.to_string(),
+            l.bottleneck
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Multi-network analysis (extension): the Figure 5/6-style evaluation the
+//! paper runs on AlexNet, extended to the other networks it cites —
+//! GoogLeNet (paper ref. 13), ResNet (paper ref. 1) — plus VGG-16. Layers whose
+//! receptive fields exceed the paper's 8192-word SRAM are tiled via
+//! `core::tiling` instead of rejected.
+
+use pcnna_baselines::{AcceleratorModel, Eyeriss};
+use pcnna_cnn::geometry::ConvGeometry;
+use pcnna_cnn::zoo;
+use pcnna_core::accel::Pcnna;
+use pcnna_core::config::PcnnaConfig;
+use pcnna_core::tiling::{TileConstraints, TilingPlanner};
+use pcnna_electronics::time::SimTime;
+
+fn main() {
+    let config = PcnnaConfig::default();
+    let accel = Pcnna::new(config).expect("default config is valid");
+    let planner = TilingPlanner::new(config).expect("default config is valid");
+    let constraints = TileConstraints::from_config(&config);
+    let eyeriss = Eyeriss::default();
+
+    for (net, layers) in [
+        ("AlexNet", zoo::alexnet_conv_layers()),
+        ("GoogLeNet stem + 3a", zoo::googlenet_stem_conv_layers()),
+        ("ResNet-18", zoo::resnet18_conv_layers()),
+        ("VGG-16", zoo::vgg16_conv_layers()),
+    ] {
+        println!("== {net} ==");
+        let mut pcnna_total = SimTime::ZERO;
+        let mut eyeriss_total = SimTime::ZERO;
+        let mut tiled_layers = 0usize;
+        for (name, g) in &layers {
+            let time = match accel.analyze_conv_layers(&[(name, *g)]) {
+                Ok(report) => report.layers[0].full_system_time,
+                Err(_) => {
+                    // receptive field exceeds the SRAM: tile the channels
+                    tiled_layers += 1;
+                    planner
+                        .plan(name, g, &constraints)
+                        .expect("tiling always succeeds for m*m <= sram")
+                        .full_system_time
+                }
+            };
+            pcnna_total += time;
+            eyeriss_total += eyeriss.layer_time(g);
+        }
+        let macs: u64 = layers.iter().map(|(_, g)| g.macs()).sum();
+        println!("  conv layers        : {}", layers.len());
+        println!("  conv MACs          : {:.2} G", macs as f64 / 1e9);
+        println!("  tiled (SRAM)       : {tiled_layers}");
+        println!("  PCNNA(O+E) total   : {pcnna_total}");
+        println!("  Eyeriss-like total : {eyeriss_total}");
+        println!(
+            "  speedup            : {:.0}x",
+            eyeriss_total.ratio(pcnna_total)
+        );
+        println!();
+    }
+
+    // FC layers mapped as degenerate convolutions (extension): AlexNet fc6
+    // needs 9216 carriers — tiling handles what the SRAM cannot.
+    println!("== AlexNet FC layers as degenerate convolutions ==");
+    for (name, inputs, outputs) in [
+        ("fc6", 9216usize, 4096usize),
+        ("fc7", 4096, 4096),
+        ("fc8", 4096, 1000),
+    ] {
+        let g = ConvGeometry::for_fully_connected(inputs, outputs)
+            .expect("fc dims are valid");
+        let plan = planner
+            .plan(name, &g, &constraints)
+            .expect("fc tiling succeeds");
+        println!(
+            "  {name}: {} inputs -> {} tiles of {} channels, {} per pass",
+            inputs, plan.tiles, plan.channels_per_tile, plan.full_system_time
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Design-space sweep (beyond the paper): how the full-system time of the
+//! largest AlexNet layer responds to the number of input DACs, the fast
+//! clock, and the scan order — run with `cargo run -p pcnna-bench --bin
+//! sweep`.
+
+use pcnna_cnn::zoo;
+use pcnna_core::accel::Pcnna;
+use pcnna_core::config::{PcnnaConfig, ScanOrder};
+use pcnna_core::simulator::PipelineSimulator;
+use pcnna_electronics::clock::ClockDomain;
+
+fn main() {
+    let conv4 = zoo::alexnet_conv_layers()[3].1;
+
+    println!("sweep 1 — input DAC count vs conv4 full-system time (analytical, DAC-only)");
+    for n in [1usize, 2, 5, 10, 20, 50, 100] {
+        let accel = Pcnna::new(PcnnaConfig::default().with_input_dacs(n))
+            .expect("config is valid");
+        let t = accel
+            .analyze_conv_layers(&[("conv4", conv4)])
+            .expect("conv4 fits")
+            .layers[0]
+            .full_system_time;
+        println!("  NDAC = {n:>3}: {t}");
+    }
+
+    println!();
+    println!("sweep 2 — fast clock vs conv4 optical-core time");
+    for ghz in [1.0f64, 2.0, 5.0, 10.0, 20.0] {
+        let clock = ClockDomain::new("fast", ghz * 1e9).expect("positive frequency");
+        let accel = Pcnna::new(PcnnaConfig::default().with_fast_clock(clock))
+            .expect("config is valid");
+        let t = accel
+            .analyze_conv_layers(&[("conv4", conv4)])
+            .expect("conv4 fits")
+            .layers[0]
+            .optical_time;
+        println!("  fclk = {ghz:>4} GHz: {t}");
+    }
+
+    println!();
+    println!("sweep 3 — scan order vs exact input loads (pipeline simulation, conv4)");
+    for (label, scan) in [
+        ("row-major ", ScanOrder::RowMajor),
+        ("serpentine", ScanOrder::Serpentine),
+    ] {
+        let sim = PipelineSimulator::new(PcnnaConfig::default().with_scan(scan))
+            .expect("config is valid");
+        let r = sim.simulate_layer("conv4", &conv4).expect("conv4 fits");
+        println!(
+            "  {label}: {} input loads, sim time {}, SRAM hit rate {:.1}%",
+            r.total_input_loads,
+            r.total_time,
+            100.0 * r.cache.hit_rate()
+        );
+    }
+}

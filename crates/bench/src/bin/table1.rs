@@ -1,0 +1,33 @@
+//! Regenerates Table I: the convolution-layer parameter nomenclature,
+//! instantiated for every AlexNet conv layer.
+
+use pcnna_cnn::zoo;
+
+fn main() {
+    println!("Table I — convolution layer parameters (AlexNet instantiation)");
+    println!();
+    println!(
+        "{:<8} {:>5} {:>4} {:>3} {:>3} {:>5} {:>5} {:>10} {:>10} {:>9}",
+        "layer", "n", "m", "p", "s", "nc", "K", "Ninput", "Noutput", "Nkernel"
+    );
+    for (name, g) in zoo::alexnet_conv_layers() {
+        println!(
+            "{:<8} {:>5} {:>4} {:>3} {:>3} {:>5} {:>5} {:>10} {:>10} {:>9}",
+            name,
+            g.input_side(),
+            g.kernel_side(),
+            g.padding(),
+            g.stride(),
+            g.channels(),
+            g.kernels(),
+            g.n_input(),
+            g.n_output(),
+            g.n_kernel(),
+        );
+    }
+    println!();
+    println!("n: input side  m: kernel side  p: padding  s: stride");
+    println!("nc: input channels  K: kernels");
+    println!("Ninput = n*n*nc (eq.1)  Nkernel = m*m*nc (eq.2)");
+    println!("Noutput = ((n+2p-m)/s + 1)^2 * K (eq.3)");
+}

@@ -1,0 +1,61 @@
+//! Thermal-stability harness (reproduction extension): how heater
+//! crosstalk and ambient drift disturb a calibrated weight bank, and what
+//! the closed-loop recalibration the paper omits would have to deliver.
+
+use pcnna_photonics::microring::RingParams;
+use pcnna_photonics::thermal::ThermalModel;
+use pcnna_photonics::wavelength::WdmGrid;
+use pcnna_photonics::weight_bank::MrrWeightBank;
+
+fn calibrated_bank(n: usize) -> (MrrWeightBank, Vec<f64>) {
+    let grid = WdmGrid::dense_50ghz(n).expect("small grid is valid");
+    let params = RingParams {
+        tuning_bits: None,
+        ..RingParams::default()
+    };
+    let mut bank = MrrWeightBank::new(grid, params).expect("params are valid");
+    let targets: Vec<f64> = (0..n)
+        .map(|i| -0.7 + 1.4 * i as f64 / (n - 1).max(1) as f64)
+        .collect();
+    bank.calibrate(&targets, 1e-6, 300)
+        .expect("ideal tuners calibrate");
+    (bank, targets)
+}
+
+fn main() {
+    let tm = ThermalModel::default();
+    println!("thermal model: {:.0}% nearest-neighbour heater coupling,", tm.neighbor_coupling * 100.0);
+    println!("               {:.0} pm/K ambient drift", tm.drift_m_per_k * 1e12);
+    println!();
+
+    println!("== heater crosstalk on a calibrated 8-ring bank ==");
+    let (mut bank, targets) = calibrated_bank(8);
+    let err = tm.apply_crosstalk(&mut bank).expect("sizes match");
+    println!("  max weight error after crosstalk : {err:.4}");
+    let report = bank
+        .calibrate(&targets, 1e-6, 300)
+        .expect("recalibration converges");
+    println!(
+        "  after closed-loop recalibration    : {:.2e} ({} iterations)",
+        report.residual, report.iterations
+    );
+    println!();
+
+    println!("== ambient drift sensitivity ==");
+    println!("{:<12} {:>18}", "excursion", "max weight error");
+    for mk in [1.0f64, 10.0, 100.0, 1000.0] {
+        let (mut b, _) = calibrated_bank(8);
+        let e = tm.apply_ambient(&mut b, mk / 1000.0).expect("sizes match");
+        println!("{:<12} {:>18.4}", format!("{mk} mK"), e);
+    }
+    println!();
+
+    let (bank, _) = calibrated_bank(8);
+    let budget_1pct = tm.tolerable_excursion_k(&bank, 0.01);
+    println!(
+        "temperature budget for 1% weight accuracy: ±{:.0} mK",
+        budget_1pct * 1000.0
+    );
+    println!("(the control loop the paper's 'tuning' presumes must hold the bank");
+    println!("within this band — standard practice in measured MRR weight banks)");
+}

@@ -1,0 +1,209 @@
+//! Fixed-point quantization.
+//!
+//! The paper sizes the PCNNA cache as "128kb capacity that can store 8
+//! thousand 16bit values" (§V-B), i.e. activations and weights live as 16-bit
+//! fixed-point words between DRAM and the converters. This module provides
+//! the symmetric quantizer used by the electronic datapath models and the
+//! functional photonic simulator (whose DAC/ADC resolutions are configurable
+//! but default to the paper's converters).
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Symmetric linear quantizer over `[-range, +range]` with `bits` of
+/// resolution (one bit of which is the sign).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quantizer {
+    bits: u8,
+    range: f32,
+}
+
+impl Quantizer {
+    /// Creates a quantizer with the given bit width and full-scale range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 31, or if `range` is not a
+    /// positive finite number — these are programming errors, not data
+    /// errors.
+    #[must_use]
+    pub fn new(bits: u8, range: f32) -> Self {
+        assert!(bits > 0 && bits < 32, "bits must be in 1..=31, got {bits}");
+        assert!(
+            range.is_finite() && range > 0.0,
+            "range must be positive and finite, got {range}"
+        );
+        Quantizer { bits, range }
+    }
+
+    /// 16-bit quantizer, the paper's storage word width.
+    #[must_use]
+    pub fn int16(range: f32) -> Self {
+        Quantizer::new(16, range)
+    }
+
+    /// Bit width.
+    #[must_use]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Full-scale range (values are clipped to `[-range, +range]`).
+    #[must_use]
+    pub fn range(&self) -> f32 {
+        self.range
+    }
+
+    /// Number of positive quantization levels, `2^(bits-1) - 1`.
+    #[must_use]
+    pub fn max_level(&self) -> i32 {
+        (1i32 << (self.bits - 1)) - 1
+    }
+
+    /// The quantization step size (LSB), `range / max_level`.
+    #[must_use]
+    pub fn step(&self) -> f32 {
+        self.range / self.max_level() as f32
+    }
+
+    /// Quantizes a value to an integer code, clipping to full scale.
+    #[must_use]
+    pub fn encode(&self, value: f32) -> i32 {
+        let max = self.max_level();
+        let scaled = (value / self.step()).round();
+        if scaled.is_nan() {
+            0
+        } else {
+            scaled.clamp(-(max as f32), max as f32) as i32
+        }
+    }
+
+    /// Reconstructs a value from an integer code.
+    #[must_use]
+    pub fn decode(&self, code: i32) -> f32 {
+        code as f32 * self.step()
+    }
+
+    /// Rounds a value to its nearest representable level (encode∘decode).
+    #[must_use]
+    pub fn quantize(&self, value: f32) -> f32 {
+        self.decode(self.encode(value))
+    }
+
+    /// Quantizes every element of a tensor.
+    #[must_use]
+    pub fn quantize_tensor(&self, t: &Tensor) -> Tensor {
+        t.map(|v| self.quantize(v))
+    }
+
+    /// Worst-case absolute rounding error for in-range values: half an LSB.
+    #[must_use]
+    pub fn max_error(&self) -> f32 {
+        self.step() / 2.0
+    }
+
+    /// Signal-to-quantization-noise ratio in dB for a full-scale sine input:
+    /// the classical `6.02·bits + 1.76` dB.
+    #[must_use]
+    pub fn sqnr_db(&self) -> f32 {
+        6.02 * f32::from(self.bits) + 1.76
+    }
+}
+
+/// Measures the worst-case and RMS quantization error of `q` over `t`.
+#[must_use]
+pub fn quantization_error(q: &Quantizer, t: &Tensor) -> (f32, f32) {
+    let quant = q.quantize_tensor(t);
+    let diff = t.sub(&quant).expect("same shape by construction");
+    let max = diff.max_abs();
+    let rms = (diff.as_slice().iter().map(|v| v * v).sum::<f32>()
+        / diff.len().max(1) as f32)
+        .sqrt();
+    (max, rms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_and_levels_for_int16() {
+        let q = Quantizer::int16(1.0);
+        assert_eq!(q.bits(), 16);
+        assert_eq!(q.max_level(), 32767);
+        assert!((q.step() - 1.0 / 32767.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_on_grid() {
+        let q = Quantizer::new(8, 2.0);
+        for code in [-127, -64, 0, 1, 100, 127] {
+            let v = q.decode(code);
+            assert_eq!(q.encode(v), code);
+        }
+    }
+
+    #[test]
+    fn quantize_is_idempotent() {
+        let q = Quantizer::new(6, 1.0);
+        for &v in &[0.013, -0.77, 0.5, 0.999, -1.0] {
+            let once = q.quantize(v);
+            assert_eq!(q.quantize(once), once);
+        }
+    }
+
+    #[test]
+    fn clipping_at_full_scale() {
+        let q = Quantizer::new(8, 1.0);
+        assert_eq!(q.quantize(5.0), q.decode(q.max_level()));
+        assert_eq!(q.quantize(-5.0), q.decode(-q.max_level()));
+    }
+
+    #[test]
+    fn nan_encodes_to_zero() {
+        let q = Quantizer::new(8, 1.0);
+        assert_eq!(q.encode(f32::NAN), 0);
+    }
+
+    #[test]
+    fn in_range_error_bounded_by_half_lsb() {
+        let q = Quantizer::new(10, 1.0);
+        for i in 0..1000 {
+            let v = -1.0 + 2.0 * (i as f32) / 999.0;
+            let err = (v - q.quantize(v)).abs();
+            assert!(
+                err <= q.max_error() + 1e-7,
+                "error {err} exceeds half-LSB {} at {v}",
+                q.max_error()
+            );
+        }
+    }
+
+    #[test]
+    fn tensor_quantization_error_metrics() {
+        let q = Quantizer::new(8, 1.0);
+        let t = Tensor::from_vec(&[4], vec![0.1, -0.2, 0.3, -0.4]).unwrap();
+        let (max, rms) = quantization_error(&q, &t);
+        assert!(max <= q.max_error() + 1e-7);
+        assert!(rms <= max);
+    }
+
+    #[test]
+    fn sqnr_tracks_bits() {
+        let q8 = Quantizer::new(8, 1.0);
+        let q16 = Quantizer::new(16, 1.0);
+        assert!(q16.sqnr_db() > q8.sqnr_db() + 45.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=31")]
+    fn zero_bits_panics() {
+        let _ = Quantizer::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be positive")]
+    fn nonpositive_range_panics() {
+        let _ = Quantizer::new(8, 0.0);
+    }
+}

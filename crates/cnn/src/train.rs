@@ -1,0 +1,381 @@
+//! Minimal in-repo training: a tiny conv-net, plain SGD, synthetic data.
+//!
+//! The PCNNA paper evaluates timing on untrained (weight-agnostic) layers.
+//! To ask the question it leaves open — *does a network still classify
+//! correctly when its convolutions run on the analog photonic substrate?* —
+//! we need a genuinely trained model. No ML framework is available offline,
+//! so this module implements exactly enough: a fixed small architecture
+//! (conv 3×3 → ReLU → 2×2 average pool → fully connected), softmax
+//! cross-entropy, manual backprop, and SGD, trained on a synthetic
+//! two-class orientation task. The functional simulator then swaps the
+//! conv layer's output for the photonic one and re-measures accuracy
+//! (`examples/trained_inference.rs`).
+
+use crate::geometry::ConvGeometry;
+use crate::reference;
+use crate::tensor::Tensor;
+use crate::{CnnError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A labelled dataset of `(image, class)` pairs; images are `(1, n, n)`.
+pub type Dataset = Vec<(Tensor, usize)>;
+
+/// Generates the synthetic two-class orientation task: class 0 images carry
+/// horizontal stripes, class 1 vertical stripes, both with additive noise.
+#[must_use]
+pub fn orientation_dataset(n_samples: usize, side: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_samples)
+        .map(|i| {
+            let class = i % 2;
+            let phase: usize = rng.gen_range(0..4);
+            let period: usize = rng.gen_range(2..4);
+            let mut img = Tensor::zeros(&[1, side, side]);
+            for y in 0..side {
+                for x in 0..side {
+                    let stripe_coord = if class == 0 { y } else { x };
+                    let stripe = ((stripe_coord + phase) / period).is_multiple_of(2);
+                    let noise: f32 = rng.gen_range(-0.15..0.15);
+                    *img.at3_mut(0, y, x) = if stripe { 0.9 } else { 0.1 } + noise;
+                }
+            }
+            (img, class)
+        })
+        .collect()
+}
+
+/// The fixed tiny architecture: conv(1→k, 3×3, pad 1) → ReLU → avgpool 2×2
+/// → FC(→classes).
+#[derive(Debug, Clone)]
+pub struct TinyConvNet {
+    /// Conv geometry (fixed stride 1, pad 1, single input channel).
+    pub geometry: ConvGeometry,
+    /// Conv kernels `(k, 1, 3, 3)`.
+    pub kernels: Tensor,
+    /// FC weights `(classes, k·(side/2)²)`.
+    pub fc: Tensor,
+    classes: usize,
+    pooled_side: usize,
+}
+
+/// Forward-pass intermediate activations kept for backprop.
+struct ForwardCache {
+    input: Tensor,
+    conv_out: Tensor,
+    relu_out: Tensor,
+    pooled: Tensor,
+    logits: Vec<f32>,
+}
+
+impl TinyConvNet {
+    /// Creates a randomly initialised net for `side`×`side` inputs,
+    /// `k` conv kernels and `classes` outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CnnError::InvalidGeometry`] if `side` is odd or too small
+    /// (the 2×2 pool needs an even conv output).
+    pub fn new(side: usize, k: usize, classes: usize, seed: u64) -> Result<Self> {
+        if side < 4 || !side.is_multiple_of(2) {
+            return Err(CnnError::InvalidGeometry {
+                reason: format!("side must be even and ≥ 4, got {side}"),
+            });
+        }
+        let geometry = ConvGeometry::new(side, 3, 1, 1, 1, k)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut kernels = Tensor::zeros(&[k, 1, 3, 3]);
+        let scale = (2.0 / 9.0f32).sqrt();
+        for v in kernels.as_mut_slice() {
+            *v = rng.gen_range(-scale..scale);
+        }
+        let pooled_side = side / 2;
+        let fc_inputs = k * pooled_side * pooled_side;
+        let fc_scale = (2.0 / fc_inputs as f32).sqrt();
+        let mut fc = Tensor::zeros(&[classes, fc_inputs]);
+        for v in fc.as_mut_slice() {
+            *v = rng.gen_range(-fc_scale..fc_scale);
+        }
+        Ok(TinyConvNet {
+            geometry,
+            kernels,
+            fc,
+            classes,
+            pooled_side,
+        })
+    }
+
+    /// Number of output classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    fn forward_cached(&self, input: &Tensor) -> Result<ForwardCache> {
+        let conv_out = reference::conv2d_direct(&self.geometry, input, &self.kernels)?;
+        let relu_out = reference::relu(&conv_out);
+        let pooled = reference::avgpool(&relu_out, 2, 2)?;
+        let flat_len = pooled.len();
+        let flat = pooled.clone().reshape(&[flat_len])?;
+        let logits_t = reference::fully_connected(&self.fc, &flat)?;
+        Ok(ForwardCache {
+            input: input.clone(),
+            conv_out,
+            relu_out,
+            pooled,
+            logits: logits_t.into_vec(),
+        })
+    }
+
+    /// Class logits for one image.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for mismatched inputs.
+    pub fn logits(&self, input: &Tensor) -> Result<Vec<f32>> {
+        Ok(self.forward_cached(input)?.logits)
+    }
+
+    /// Classifies the *post-conv* path: takes an externally produced conv
+    /// feature map (e.g. the photonic one) and runs the rest of the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for mismatched feature maps.
+    pub fn logits_from_conv_output(&self, conv_out: &Tensor) -> Result<Vec<f32>> {
+        let relu_out = reference::relu(conv_out);
+        let pooled = reference::avgpool(&relu_out, 2, 2)?;
+        let flat_len = pooled.len();
+        let flat = pooled.reshape(&[flat_len])?;
+        Ok(reference::fully_connected(&self.fc, &flat)?.into_vec())
+    }
+
+    /// Predicted class for one image.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for mismatched inputs.
+    pub fn predict(&self, input: &Tensor) -> Result<usize> {
+        let logits = self.logits(input)?;
+        Ok(crate::metrics::argmax(&logits).unwrap_or(0))
+    }
+
+    /// Fraction of the dataset classified correctly.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for mismatched inputs.
+    pub fn accuracy(&self, data: &Dataset) -> Result<f64> {
+        let mut correct = 0usize;
+        for (img, label) in data {
+            if self.predict(img)? == *label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / data.len().max(1) as f64)
+    }
+
+    /// One SGD step on one sample; returns the cross-entropy loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for mismatched inputs.
+    pub fn sgd_step(&mut self, input: &Tensor, label: usize, lr: f32) -> Result<f32> {
+        let cache = self.forward_cached(input)?;
+        let probs = softmax(&cache.logits);
+        let loss = -probs[label].max(1e-12).ln();
+
+        // dL/dlogits = probs − onehot
+        let mut dlogits = probs;
+        dlogits[label] -= 1.0;
+
+        // FC grads: dW[c, j] = dlogits[c] · flat[j]; dflat = Wᵀ dlogits
+        let flat = cache.pooled.as_slice();
+        let fc_inputs = flat.len();
+        let mut dflat = vec![0.0f32; fc_inputs];
+        {
+            let w = self.fc.as_mut_slice();
+            for (c, &dl) in dlogits.iter().enumerate() {
+                for j in 0..fc_inputs {
+                    dflat[j] += w[c * fc_inputs + j] * dl;
+                    w[c * fc_inputs + j] -= lr * dl * flat[j];
+                }
+            }
+        }
+
+        // avgpool backward: each pooled grad spreads /4 into its window,
+        // then ReLU mask.
+        let k = self.geometry.kernels();
+        let side = self.geometry.output_side();
+        let ps = self.pooled_side;
+        let mut dconv = Tensor::zeros(&[k, side, side]);
+        for kk in 0..k {
+            for py in 0..ps {
+                for px in 0..ps {
+                    let g = dflat[(kk * ps + py) * ps + px] / 4.0;
+                    for wy in 0..2 {
+                        for wx in 0..2 {
+                            let (y, x) = (py * 2 + wy, px * 2 + wx);
+                            if cache.relu_out.at3(kk, y, x) > 0.0 {
+                                *dconv.at3_mut(kk, y, x) = g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let _ = &cache.conv_out;
+
+        // conv weight grads: dw[k,0,ky,kx] = Σ dconv[k,oy,ox]·x[oy+ky−1,ox+kx−1]
+        let n = self.geometry.input_side();
+        let kw = self.kernels.as_mut_slice();
+        for kk in 0..k {
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    let mut grad = 0.0f32;
+                    for oy in 0..side {
+                        for ox in 0..side {
+                            let y = oy as isize + ky as isize - 1;
+                            let x = ox as isize + kx as isize - 1;
+                            if y < 0 || x < 0 || y as usize >= n || x as usize >= n {
+                                continue;
+                            }
+                            grad += dconv.at3(kk, oy, ox)
+                                * cache.input.at3(0, y as usize, x as usize);
+                        }
+                    }
+                    kw[(kk * 3 + ky) * 3 + kx] -= lr * grad;
+                }
+            }
+        }
+        Ok(loss)
+    }
+
+    /// Trains for `epochs` passes over `data`, returning the mean loss of
+    /// the final epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for mismatched inputs.
+    pub fn train(&mut self, data: &Dataset, epochs: usize, lr: f32) -> Result<f32> {
+        let mut last = 0.0f32;
+        for _ in 0..epochs {
+            let mut total = 0.0f32;
+            for (img, label) in data {
+                total += self.sgd_step(img, *label, lr)?;
+            }
+            last = total / data.len().max(1) as f32;
+        }
+        Ok(last)
+    }
+}
+
+/// Numerically stable softmax.
+#[must_use]
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum.max(1e-12)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_is_balanced_and_deterministic() {
+        let a = orientation_dataset(40, 12, 3);
+        let b = orientation_dataset(40, 12, 3);
+        assert_eq!(a.len(), 40);
+        assert_eq!(a.iter().filter(|(_, c)| *c == 0).count(), 20);
+        for ((ia, ca), (ib, cb)) in a.iter().zip(&b) {
+            assert_eq!(ia, ib);
+            assert_eq!(ca, cb);
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 3.0, 2.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[1] > p[2] && p[2] > p[0]);
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(TinyConvNet::new(5, 4, 2, 0).is_err()); // odd side
+        assert!(TinyConvNet::new(2, 4, 2, 0).is_err()); // too small
+        assert!(TinyConvNet::new(12, 4, 2, 0).is_ok());
+    }
+
+    #[test]
+    fn sgd_reduces_loss_on_one_sample() {
+        let mut net = TinyConvNet::new(8, 4, 2, 1).unwrap();
+        let data = orientation_dataset(2, 8, 2);
+        let (img, label) = &data[0];
+        let first = net.sgd_step(img, *label, 0.05).unwrap();
+        let mut last = first;
+        for _ in 0..20 {
+            last = net.sgd_step(img, *label, 0.05).unwrap();
+        }
+        assert!(last < first, "loss {first} -> {last} did not drop");
+    }
+
+    #[test]
+    fn training_reaches_high_accuracy() {
+        let mut net = TinyConvNet::new(12, 4, 2, 7).unwrap();
+        let train = orientation_dataset(80, 12, 11);
+        let test = orientation_dataset(40, 12, 99);
+        let untrained = net.accuracy(&test).unwrap();
+        net.train(&train, 12, 0.05).unwrap();
+        let trained = net.accuracy(&test).unwrap();
+        assert!(
+            trained > 0.9,
+            "trained accuracy {trained} (untrained was {untrained})"
+        );
+        assert!(trained > untrained);
+    }
+
+    #[test]
+    fn logits_from_conv_output_matches_forward() {
+        let net = TinyConvNet::new(8, 3, 2, 5).unwrap();
+        let data = orientation_dataset(2, 8, 6);
+        let (img, _) = &data[0];
+        let direct = net.logits(img).unwrap();
+        let conv = reference::conv2d_direct(&net.geometry, img, &net.kernels).unwrap();
+        let via_conv = net.logits_from_conv_output(&conv).unwrap();
+        for (a, b) in direct.iter().zip(&via_conv) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn conv_gradient_matches_finite_difference() {
+        // Spot-check one kernel weight's analytic gradient against a
+        // central finite difference of the loss.
+        let net = TinyConvNet::new(8, 2, 2, 9).unwrap();
+        let data = orientation_dataset(2, 8, 10);
+        let (img, label) = &data[0];
+        let loss_at = |n: &TinyConvNet| {
+            let l = n.logits(img).unwrap();
+            -softmax(&l)[*label].max(1e-12).ln()
+        };
+        let eps = 1e-3f32;
+        let idx = 4; // center tap of kernel 0
+        let mut plus = net.clone();
+        plus.kernels.as_mut_slice()[idx] += eps;
+        let mut minus = net.clone();
+        minus.kernels.as_mut_slice()[idx] -= eps;
+        let numeric = (loss_at(&plus) - loss_at(&minus)) / (2.0 * eps);
+        // analytic: run one sgd step with lr so weight delta = -lr·grad
+        let mut stepped = net.clone();
+        let lr = 1e-3f32;
+        stepped.sgd_step(img, *label, lr).unwrap();
+        let analytic = (net.kernels.as_slice()[idx] - stepped.kernels.as_slice()[idx]) / lr;
+        assert!(
+            (numeric - analytic).abs() < 0.05 * numeric.abs().max(0.1),
+            "numeric {numeric} vs analytic {analytic}"
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Rendering of analysis results as aligned text tables.
+//!
+//! The fig/table binaries in `pcnna-bench` print through these helpers so
+//! every harness emits the same, diffable format (EXPERIMENTS.md embeds
+//! their output).
+
+use crate::accel::NetworkReport;
+use crate::mapping::Fig5Row;
+use crate::simulator::SimResult;
+use pcnna_electronics::time::SimTime;
+
+/// Formats a count with thousands separators (`5_245_599_744` →
+/// `5,245,599,744`).
+#[must_use]
+pub fn group_digits(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, ch) in s.chars().enumerate() {
+        if i != 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Renders Figure 5 (microring counts per layer) as a table.
+#[must_use]
+pub fn render_fig5(rows: &[Fig5Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {:>18} {:>14} {:>12} {:>12}\n",
+        "layer", "not-filtered", "filtered", "chan-seq", "area(mm^2)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>18} {:>14} {:>12} {:>12.3}\n",
+            r.layer,
+            group_digits(r.not_filtered),
+            group_digits(r.filtered),
+            group_digits(r.filtered_channel_sequential),
+            r.filtered_area_mm2,
+        ));
+    }
+    out
+}
+
+/// Renders the analytical network report (the PCNNA columns of Figure 6).
+#[must_use]
+pub fn render_timing(report: &NetworkReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {:>8} {:>12} {:>14} {:>10} {:>12}\n",
+        "layer", "Nlocs", "PCNNA(O)", "PCNNA(O+E)", "bound-by", "IO-slowdown"
+    ));
+    for l in &report.layers {
+        out.push_str(&format!(
+            "{:<8} {:>8} {:>12} {:>14} {:>10} {:>11.1}x\n",
+            l.name,
+            l.locations,
+            l.optical_time.to_string(),
+            l.full_system_time.to_string(),
+            l.bottleneck,
+            l.timing.io_slowdown(),
+        ));
+    }
+    out.push_str(&format!(
+        "{:<8} {:>8} {:>12} {:>14}\n",
+        "total",
+        "",
+        report.total_optical().to_string(),
+        report.total_full_system().to_string(),
+    ));
+    out
+}
+
+/// Renders pipeline-simulation results.
+#[must_use]
+pub fn render_simulation(results: &[SimResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {:>12} {:>10} {:>10} {:>12} {:>12}\n",
+        "layer", "sim-time", "opt-util", "hit-rate", "dram(bytes)", "energy(uJ)"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<8} {:>12} {:>9.1}% {:>9.1}% {:>12} {:>12.3}\n",
+            r.name,
+            r.total_time.to_string(),
+            100.0 * r.optical_utilization(),
+            100.0 * r.cache.hit_rate(),
+            group_digits(r.traffic.total_bytes()),
+            r.energy.total_j() * 1e6,
+        ));
+    }
+    out
+}
+
+/// Renders a speedup comparison row set: layer name and per-engine times,
+/// computing speedups against the first engine.
+#[must_use]
+pub fn render_comparison(
+    engines: &[&str],
+    rows: &[(String, Vec<SimTime>)],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<8}", "layer"));
+    for e in engines {
+        out.push_str(&format!(" {e:>14}"));
+    }
+    out.push_str(&format!(" {:>14}\n", "speedup(last)"));
+    for (name, times) in rows {
+        out.push_str(&format!("{name:<8}"));
+        for t in times {
+            out.push_str(&format!(" {:>14}", t.to_string()));
+        }
+        if let (Some(first), Some(last)) = (times.first(), times.last()) {
+            if last.as_ps() > 0 {
+                out.push_str(&format!(" {:>13.0}x", first.ratio(*last)));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::Pcnna;
+    use crate::config::PcnnaConfig;
+    use crate::mapping::{figure5, AreaModel};
+    use pcnna_cnn::zoo;
+
+    #[test]
+    fn group_digits_formats() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1000), "1,000");
+        assert_eq!(group_digits(5_245_599_744), "5,245,599,744");
+    }
+
+    #[test]
+    fn fig5_render_contains_headline_numbers() {
+        let rows = figure5(&zoo::alexnet_conv_layers(), &AreaModel::default());
+        let s = render_fig5(&rows);
+        assert!(s.contains("conv1"));
+        assert!(s.contains("5,245,599,744"));
+        assert!(s.contains("34,848"));
+        assert!(s.contains("3,456"));
+    }
+
+    #[test]
+    fn timing_render_has_totals() {
+        let accel = Pcnna::new(PcnnaConfig::default()).unwrap();
+        let report = accel
+            .analyze_conv_layers(&zoo::alexnet_conv_layers())
+            .unwrap();
+        let s = render_timing(&report);
+        assert!(s.contains("total"));
+        assert!(s.contains("PCNNA(O)"));
+        assert!(s.lines().count() >= 7);
+    }
+
+    #[test]
+    fn comparison_render_computes_speedup() {
+        let rows = vec![(
+            "conv1".to_owned(),
+            vec![SimTime::from_ms(10), SimTime::from_us(10)],
+        )];
+        let s = render_comparison(&["eyeriss", "pcnna"], &rows);
+        assert!(s.contains("1000x"));
+    }
+}

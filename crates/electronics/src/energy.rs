@@ -1,0 +1,114 @@
+//! Electrical energy bookkeeping.
+//!
+//! The paper argues photonics wins on power as well as speed but reports no
+//! energy numbers; this ledger lets the core crate quantify the electronic
+//! side (converters, SRAM, DRAM) next to the photonic budget so
+//! EXPERIMENTS.md can report energy per layer as a stretch result.
+
+use serde::{Deserialize, Serialize};
+
+/// Itemised electrical energy, joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    /// Input + weight DAC conversion energy.
+    pub dac_j: f64,
+    /// Output ADC conversion energy.
+    pub adc_j: f64,
+    /// SRAM access energy.
+    pub sram_j: f64,
+    /// DRAM transfer energy.
+    pub dram_j: f64,
+    /// Photonic front end (lasers, heaters) — supplied by the photonics
+    /// crate, stored here for a single total.
+    pub photonic_j: f64,
+}
+
+impl EnergyLedger {
+    /// Total energy, joules.
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.dac_j + self.adc_j + self.sram_j + self.dram_j + self.photonic_j
+    }
+
+    /// Adds another ledger item-wise.
+    #[must_use]
+    pub fn combined(&self, other: &EnergyLedger) -> EnergyLedger {
+        EnergyLedger {
+            dac_j: self.dac_j + other.dac_j,
+            adc_j: self.adc_j + other.adc_j,
+            sram_j: self.sram_j + other.sram_j,
+            dram_j: self.dram_j + other.dram_j,
+            photonic_j: self.photonic_j + other.photonic_j,
+        }
+    }
+
+    /// Energy efficiency for a given operation count, ops/J (0 if no
+    /// energy was spent).
+    #[must_use]
+    pub fn ops_per_joule(&self, ops: u64) -> f64 {
+        let total = self.total_j();
+        if total <= 0.0 {
+            0.0
+        } else {
+            ops as f64 / total
+        }
+    }
+
+    /// The dominant item as `(name, joules)`.
+    #[must_use]
+    pub fn dominant(&self) -> (&'static str, f64) {
+        let items = [
+            ("dac", self.dac_j),
+            ("adc", self.adc_j),
+            ("sram", self.sram_j),
+            ("dram", self.dram_j),
+            ("photonic", self.photonic_j),
+        ];
+        items
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("items is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let e = EnergyLedger {
+            dac_j: 1.0,
+            adc_j: 2.0,
+            sram_j: 3.0,
+            dram_j: 4.0,
+            photonic_j: 5.0,
+        };
+        assert!((e.total_j() - 15.0).abs() < 1e-12);
+        assert_eq!(e.dominant(), ("photonic", 5.0));
+    }
+
+    #[test]
+    fn combine_adds() {
+        let a = EnergyLedger {
+            dac_j: 1.0,
+            ..Default::default()
+        };
+        let b = EnergyLedger {
+            dram_j: 2.0,
+            ..Default::default()
+        };
+        let c = a.combined(&b);
+        assert!((c.total_j() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ops_per_joule() {
+        let e = EnergyLedger {
+            dac_j: 0.5,
+            ..Default::default()
+        };
+        assert!((e.ops_per_joule(1_000_000) - 2e6).abs() < 1e-6);
+        assert_eq!(EnergyLedger::default().ops_per_joule(100), 0.0);
+    }
+}

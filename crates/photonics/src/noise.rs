@@ -1,0 +1,132 @@
+//! Noise aggregation: SNR and effective-number-of-bits (ENOB) estimation.
+//!
+//! The paper's precision story is implicit — it stores 16-bit values and
+//! uses 16-bit converters, but the analog optical MAC has its own noise
+//! floor. This module turns the variances reported by the device models
+//! into the two numbers architects actually compare: SNR (dB) and ENOB.
+
+use serde::{Deserialize, Serialize};
+
+/// An additive noise budget: named variance contributions against a signal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseBudget {
+    /// Full-scale signal amplitude (same unit family as the noise terms'
+    /// square roots; e.g. amperes).
+    pub signal: f64,
+    /// Named variance contributions (unit²).
+    pub contributions: Vec<(String, f64)>,
+}
+
+impl NoiseBudget {
+    /// Creates an empty budget for a given full-scale signal.
+    #[must_use]
+    pub fn new(signal: f64) -> Self {
+        NoiseBudget {
+            signal,
+            contributions: Vec::new(),
+        }
+    }
+
+    /// Adds a named variance contribution (negative values are clamped to 0).
+    #[must_use]
+    pub fn with(mut self, name: impl Into<String>, variance: f64) -> Self {
+        self.contributions.push((name.into(), variance.max(0.0)));
+        self
+    }
+
+    /// Total noise variance.
+    #[must_use]
+    pub fn total_variance(&self) -> f64 {
+        self.contributions.iter().map(|(_, v)| v).sum()
+    }
+
+    /// Linear SNR (`∞` if noiseless).
+    #[must_use]
+    pub fn snr(&self) -> f64 {
+        let var = self.total_variance();
+        if var == 0.0 {
+            f64::INFINITY
+        } else {
+            self.signal * self.signal / var
+        }
+    }
+
+    /// SNR in dB.
+    #[must_use]
+    pub fn snr_db(&self) -> f64 {
+        10.0 * self.snr().log10()
+    }
+
+    /// Effective number of bits: `(SNR_dB − 1.76) / 6.02`.
+    #[must_use]
+    pub fn enob(&self) -> f64 {
+        (self.snr_db() - 1.76) / 6.02
+    }
+
+    /// The dominant noise contribution `(name, variance)`, if any.
+    #[must_use]
+    pub fn dominant(&self) -> Option<(&str, f64)> {
+        self.contributions
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(n, v)| (n.as_str(), *v))
+    }
+}
+
+/// Converts a linear SNR to ENOB.
+#[must_use]
+pub fn snr_to_enob(snr_linear: f64) -> f64 {
+    (10.0 * snr_linear.log10() - 1.76) / 6.02
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_budget_is_noiseless() {
+        let b = NoiseBudget::new(1.0);
+        assert_eq!(b.total_variance(), 0.0);
+        assert!(b.snr().is_infinite());
+    }
+
+    #[test]
+    fn contributions_accumulate() {
+        let b = NoiseBudget::new(1.0)
+            .with("shot", 1e-6)
+            .with("thermal", 3e-6);
+        assert!((b.total_variance() - 4e-6).abs() < 1e-18);
+        assert!((b.snr() - 2.5e5).abs() / 2.5e5 < 1e-12);
+    }
+
+    #[test]
+    fn negative_variances_are_clamped() {
+        let b = NoiseBudget::new(1.0).with("bogus", -5.0);
+        assert_eq!(b.total_variance(), 0.0);
+    }
+
+    #[test]
+    fn dominant_finds_largest() {
+        let b = NoiseBudget::new(1.0)
+            .with("shot", 1e-6)
+            .with("thermal", 3e-6)
+            .with("rin", 2e-6);
+        assert_eq!(b.dominant().unwrap().0, "thermal");
+    }
+
+    #[test]
+    fn enob_matches_classic_formula() {
+        // SNR of 98.08 dB ↔ 16 bits
+        let snr_linear = 10f64.powf(98.08 / 10.0);
+        let enob = snr_to_enob(snr_linear);
+        assert!((enob - 16.0).abs() < 0.01, "enob {enob}");
+    }
+
+    #[test]
+    fn six_db_per_bit() {
+        // doubling the signal adds 20·log10(2)/6.02 ≈ 1.0001 bits
+        let b1 = NoiseBudget::new(1.0).with("n", 1e-6);
+        let b2 = NoiseBudget::new(2.0).with("n", 1e-6);
+        assert!((b2.enob() - b1.enob() - 1.0).abs() < 1e-3);
+    }
+}

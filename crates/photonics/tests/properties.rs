@@ -1,0 +1,144 @@
+//! Property-based tests of the photonic device models' physical invariants.
+
+use proptest::prelude::*;
+
+use pcnna_photonics::microring::{Microring, RingParams};
+use pcnna_photonics::modulator::Mzm;
+use pcnna_photonics::photodiode::{BalancedPair, Photodiode};
+use pcnna_photonics::waveguide::{db_to_linear, linear_to_db, WaveguideModel};
+use pcnna_photonics::wavelength::WdmGrid;
+use pcnna_photonics::weight_bank::MrrWeightBank;
+
+fn ideal_params() -> RingParams {
+    RingParams {
+        tuning_bits: None,
+        ..RingParams::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ring_transmissions_are_physical(detuning_frac in 0.0f64..1.0) {
+        let mut ring = Microring::new(ideal_params(), 1550e-9).unwrap();
+        let max_det = ring.params().tuning_range_frac * ring.carrier_m();
+        ring.set_detuning(detuning_frac * max_det);
+        let d = ring.drop_transmission(1550e-9);
+        let t = ring.through_transmission(1550e-9);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((0.0..=1.0).contains(&t));
+        // passive device: no gain
+        prop_assert!(d + t <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn ring_weight_roundtrip(weight in -0.95f64..0.85) {
+        let mut ring = Microring::new(ideal_params(), 1550e-9).unwrap();
+        if weight >= ring.min_weight() && weight <= ring.max_weight() {
+            let achieved = ring.set_weight(weight).unwrap();
+            prop_assert!((achieved - weight).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantized_ring_weight_error_bounded(weight in -0.9f64..0.8, bits in 8u8..14) {
+        let params = RingParams {
+            tuning_bits: Some(bits),
+            ..RingParams::default()
+        };
+        let mut ring = Microring::new(params, 1550e-9).unwrap();
+        let achieved = ring.set_weight(weight).unwrap();
+        // error shrinks with bits: bound by the 8-bit worst case
+        prop_assert!((achieved - weight).abs() < 0.1, "err {}", (achieved - weight).abs());
+    }
+
+    #[test]
+    fn mzm_output_monotone_in_input(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let m = Mzm {
+            drive_bits: None,
+            ..Mzm::default()
+        };
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(m.modulate(lo) <= m.modulate(hi) + 1e-12);
+    }
+
+    #[test]
+    fn photodiode_current_monotone_in_power(p1 in 0.0f64..1e-2, p2 in 0.0f64..1e-2) {
+        let pd = Photodiode::default();
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(pd.photocurrent_a(lo) <= pd.photocurrent_a(hi));
+    }
+
+    #[test]
+    fn balanced_pair_is_antisymmetric(p1 in 0.0f64..1e-2, p2 in 0.0f64..1e-2) {
+        let bp = BalancedPair::default();
+        let forward = bp.differential_current_a(p1, p2);
+        let reverse = bp.differential_current_a(p2, p1);
+        prop_assert!((forward + reverse).abs() < 1e-15);
+    }
+
+    #[test]
+    fn db_conversion_roundtrip(db in -60.0f64..20.0) {
+        let lin = db_to_linear(db);
+        prop_assert!(lin > 0.0);
+        prop_assert!((linear_to_db(lin) - db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waveguide_loss_monotone_in_length(l1 in 0.0f64..5.0, l2 in 0.0f64..5.0) {
+        let wg = WaveguideModel::default();
+        let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+        prop_assert!(wg.propagation_transmission(hi) <= wg.propagation_transmission(lo));
+    }
+
+    #[test]
+    fn broadcast_loss_monotone_in_fanout(f1 in 1usize..256, f2 in 1usize..256) {
+        let wg = WaveguideModel::default();
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        prop_assert!(wg.broadcast_loss_db(hi) >= wg.broadcast_loss_db(lo));
+    }
+
+    #[test]
+    fn grid_wavelengths_strictly_descend(channels in 2usize..32) {
+        let grid = WdmGrid::dense_50ghz(channels).unwrap();
+        let wls = grid.wavelengths_m();
+        for w in wls.windows(2) {
+            prop_assert!(w[1] < w[0]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bank_calibration_converges_for_random_targets(
+        targets in prop::collection::vec(-0.9f64..0.8, 2..10),
+    ) {
+        let grid = WdmGrid::dense_50ghz(targets.len()).unwrap();
+        let mut bank = MrrWeightBank::new(grid, ideal_params()).unwrap();
+        let report = bank.calibrate(&targets, 1e-5, 300).unwrap();
+        prop_assert!(report.residual <= 1e-5);
+        let eff = bank.effective_weights();
+        for (e, t) in eff.iter().zip(&targets) {
+            prop_assert!((e - t).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bank_propagation_conserves_power(
+        weights in prop::collection::vec(-0.9f64..0.8, 2..8),
+        powers in prop::collection::vec(1e-6f64..1e-2, 2..8),
+    ) {
+        let n = weights.len().min(powers.len());
+        let grid = WdmGrid::dense_50ghz(n).unwrap();
+        let mut bank = MrrWeightBank::new(grid, ideal_params()).unwrap();
+        bank.set_weights_uncalibrated(&weights[..n]).unwrap();
+        let (drops, thrus) = bank.propagate(&powers[..n]).unwrap();
+        for j in 0..n {
+            prop_assert!(drops[j] >= 0.0 && thrus[j] >= 0.0);
+            prop_assert!(drops[j] + thrus[j] <= powers[j] + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! The paper's full evaluation in one report: Figure 5 (microring counts)
+//! and Figure 6 (execution time vs. Eyeriss-like and YodaNN-like engines)
+//! for all five AlexNet convolution layers, plus the pipeline-simulation
+//! cross-check the paper lacks.
+//!
+//! Run with: `cargo run --release --example alexnet_analysis`
+
+use pcnna::baselines::{AcceleratorModel, Eyeriss, YodaNn};
+use pcnna::cnn::zoo;
+use pcnna::core::config::PcnnaConfig;
+use pcnna::core::mapping::{figure5, AreaModel};
+use pcnna::core::report::{render_fig5, render_simulation, render_timing};
+use pcnna::core::Pcnna;
+
+fn main() {
+    let layers = zoo::alexnet_conv_layers();
+    let accel = Pcnna::new(PcnnaConfig::default()).expect("valid default config");
+
+    println!("== Figure 5: microrings per AlexNet conv layer ==");
+    print!(
+        "{}",
+        render_fig5(&figure5(&layers, &AreaModel::default()))
+    );
+    println!();
+
+    println!("== Figure 6: execution time (PCNNA analytical) ==");
+    let report = accel
+        .analyze_conv_layers(&layers)
+        .expect("alexnet fits the paper design point");
+    print!("{}", render_timing(&report));
+    println!();
+
+    println!("== Figure 6: electronic baselines ==");
+    let eyeriss = Eyeriss::default();
+    let yodann = YodaNn::default();
+    println!("{:<8} {:>12} {:>12}", "layer", "Eyeriss", "YodaNN");
+    for (name, g) in &layers {
+        println!(
+            "{:<8} {:>12} {:>12}",
+            name,
+            eyeriss.layer_time(g).to_string(),
+            yodann.layer_time(g).to_string()
+        );
+    }
+    println!();
+
+    let e_total = eyeriss.network_time(&layers);
+    println!(
+        "totals: Eyeriss {} | YodaNN {} | PCNNA(O+E) {} | PCNNA(O) {}",
+        e_total,
+        yodann.network_time(&layers),
+        report.total_full_system(),
+        report.total_optical()
+    );
+    println!(
+        "network speedups vs Eyeriss: O+E = {:.0}x, O = {:.0}x",
+        e_total.ratio(report.total_full_system()),
+        e_total.ratio(report.total_optical())
+    );
+    println!();
+
+    println!("== pipeline simulation cross-check (exact update sets) ==");
+    let sims = accel
+        .simulate_conv_layers(&layers)
+        .expect("alexnet fits the paper design point");
+    print!("{}", render_simulation(&sims));
+}

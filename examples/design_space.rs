@@ -1,0 +1,103 @@
+//! Design-space exploration beyond the paper's single design point: where
+//! do the crossovers between bottlenecks fall as the DAC count, fast clock,
+//! stride, and bottleneck model vary?
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use pcnna::cnn::zoo;
+use pcnna::core::config::{BottleneckModel, PcnnaConfig, ScanOrder};
+use pcnna::core::Pcnna;
+use pcnna::electronics::clock::ClockDomain;
+
+fn main() {
+    let conv4 = zoo::alexnet_conv_layers()[3].1;
+
+    println!("== NDAC sweep (conv4, DAC-only model) ==");
+    println!("{:<8} {:>14} {:>18}", "NDAC", "full-system", "vs optical");
+    for n in [1usize, 2, 4, 8, 10, 16, 32, 64, 128] {
+        let accel =
+            Pcnna::new(PcnnaConfig::default().with_input_dacs(n)).expect("valid config");
+        let row = &accel
+            .analyze_conv_layers(&[("conv4", conv4)])
+            .expect("conv4 fits")
+            .layers[0];
+        println!(
+            "{:<8} {:>14} {:>17.1}x",
+            n,
+            row.full_system_time.to_string(),
+            row.timing.io_slowdown()
+        );
+    }
+    println!("diminishing returns set in once the DAC batch drops under one");
+    println!("fast-clock cycle; the optical core becomes the limit.");
+    println!();
+
+    println!("== fast-clock sweep (conv4, optical core) ==");
+    println!("{:<10} {:>14}", "clock", "PCNNA(O)");
+    for ghz in [1.0f64, 2.5, 5.0, 10.0, 20.0, 40.0] {
+        let clock = ClockDomain::new("fast", ghz * 1e9).expect("positive frequency");
+        let accel =
+            Pcnna::new(PcnnaConfig::default().with_fast_clock(clock)).expect("valid config");
+        let row = &accel
+            .analyze_conv_layers(&[("conv4", conv4)])
+            .expect("conv4 fits")
+            .layers[0];
+        println!("{:<10} {:>14}", format!("{ghz} GHz"), row.optical_time.to_string());
+    }
+    println!();
+
+    println!("== bottleneck model comparison (all AlexNet layers) ==");
+    let layers = zoo::alexnet_conv_layers();
+    let paper = Pcnna::new(PcnnaConfig::default()).expect("valid config");
+    let fuller = Pcnna::new(
+        PcnnaConfig::default().with_bottleneck(BottleneckModel::MaxOfStages),
+    )
+    .expect("valid config");
+    let a = paper.analyze_conv_layers(&layers).expect("fits");
+    let b = fuller.analyze_conv_layers(&layers).expect("fits");
+    println!(
+        "{:<8} {:>14} {:>14} {:>10}",
+        "layer", "paper(DAC)", "max-of-stages", "bound-by"
+    );
+    for (pa, fu) in a.layers.iter().zip(&b.layers) {
+        println!(
+            "{:<8} {:>14} {:>14} {:>10}",
+            pa.name,
+            pa.full_system_time.to_string(),
+            fu.full_system_time.to_string(),
+            fu.bottleneck
+        );
+    }
+    println!();
+
+    println!("== stride sensitivity (conv4 variants, DAC-only) ==");
+    println!("{:<8} {:>10} {:>14}", "stride", "Nlocs", "full-system");
+    for s in [1usize, 2, 3] {
+        let g = conv4.with_stride(s).expect("valid stride");
+        let row = &paper
+            .analyze_conv_layers(&[("conv4s", g)])
+            .expect("fits")
+            .layers[0];
+        println!("{:<8} {:>10} {:>14}", s, row.locations, row.full_system_time.to_string());
+    }
+    println!();
+
+    println!("== scan-order ablation (simulation, conv2) ==");
+    let conv2 = layers[1].1;
+    for (label, scan) in [
+        ("row-major", ScanOrder::RowMajor),
+        ("serpentine", ScanOrder::Serpentine),
+    ] {
+        let accel =
+            Pcnna::new(PcnnaConfig::default().with_scan(scan)).expect("valid config");
+        let r = &accel
+            .simulate_conv_layers(&[("conv2", conv2)])
+            .expect("fits")[0];
+        println!(
+            "{label:<10}: sim {} | {} input loads | hit rate {:.1}%",
+            r.total_time,
+            r.total_input_loads,
+            100.0 * r.cache.hit_rate()
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Analog-precision study: the paper stores 16-bit values, but what does
+//! the *optical* MAC actually resolve? Sweeps laser power and ring Q,
+//! reporting link SNR / ENOB and the end-to-end functional accuracy of a
+//! small convolution under each condition.
+//!
+//! Run with: `cargo run --release --example noise_study`
+
+use pcnna::cnn::geometry::ConvGeometry;
+use pcnna::cnn::workload::Workload;
+use pcnna::core::functional::FunctionalOptions;
+use pcnna::core::{Pcnna, PcnnaConfig};
+use pcnna::photonics::laser::LaserDiode;
+use pcnna::photonics::link::{BroadcastWeightLink, LinkConfig};
+use pcnna::photonics::microring::RingParams;
+use pcnna::photonics::noise::snr_to_enob;
+
+fn main() {
+    let g = ConvGeometry::new(8, 3, 0, 1, 2, 4).expect("valid geometry");
+    let wl = Workload::uniform(&g, 17);
+
+    println!("== laser power vs link SNR and functional accuracy ==");
+    println!(
+        "{:<12} {:>12} {:>10} {:>14}",
+        "laser power", "link SNR", "ENOB", "conv SNR (dB)"
+    );
+    for power_mw in [0.01f64, 0.1, 1.0, 10.0] {
+        let link_cfg = LinkConfig {
+            laser: LaserDiode {
+                power_w: power_mw * 1e-3,
+                ..LaserDiode::default()
+            },
+            ..LinkConfig::default()
+        };
+        let link = BroadcastWeightLink::new(link_cfg, g.n_kernel() as usize, g.kernels())
+            .expect("valid link");
+        let snr = link.full_scale_snr();
+
+        let cfg = PcnnaConfig {
+            link: link_cfg,
+            ..PcnnaConfig::default()
+        };
+        let accel = Pcnna::new(cfg).expect("valid config");
+        let opts = FunctionalOptions {
+            noise: true,
+            seed: 3,
+            ..FunctionalOptions::default()
+        };
+        let run = accel
+            .run_functional(&g, &wl.input, &wl.kernels, &opts)
+            .expect("layer fits");
+        println!(
+            "{:<12} {:>11.0} {:>10.1} {:>14.1}",
+            format!("{power_mw} mW"),
+            snr,
+            snr_to_enob(snr),
+            run.accuracy.snr_db
+        );
+    }
+    println!();
+
+    println!("== ring Q vs calibration quality and functional accuracy ==");
+    println!(
+        "{:<10} {:>16} {:>14}",
+        "Q factor", "calib residual", "conv SNR (dB)"
+    );
+    for q in [1.0e4f64, 2.5e4, 5.0e4, 1.0e5] {
+        let base = LinkConfig::default();
+        let link_cfg = LinkConfig {
+            ring: RingParams {
+                q_factor: q,
+                ..base.ring
+            },
+            ..base
+        };
+        let cfg = PcnnaConfig {
+            link: link_cfg,
+            ..PcnnaConfig::default()
+        };
+        let accel = Pcnna::new(cfg).expect("valid config");
+        let run = accel
+            .run_functional(&g, &wl.input, &wl.kernels, &FunctionalOptions::default())
+            .expect("layer fits");
+        println!(
+            "{:<10} {:>16.5} {:>14.1}",
+            format!("{q:.0}"),
+            run.worst_calibration_residual,
+            run.accuracy.snr_db
+        );
+    }
+    println!();
+    println!("low Q widens the Lorentzian tails: inter-channel crosstalk grows and");
+    println!("calibration residuals rise; low laser power drowns the MAC in shot,");
+    println!("thermal and RIN noise. The paper's 16-bit storage is far beyond what");
+    println!("the analog core resolves — see EXPERIMENTS.md, 'Analog precision'.");
+}

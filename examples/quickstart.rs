@@ -1,0 +1,41 @@
+//! Quickstart: map one convolution layer onto PCNNA and read off the
+//! paper's three headline quantities — ring count, ring area, and execution
+//! time (optical core vs. full system).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pcnna::cnn::geometry::ConvGeometry;
+use pcnna::core::{Pcnna, PcnnaConfig};
+
+fn main() {
+    // AlexNet conv1 exactly as the paper parameterises it:
+    // 224x224x3 input, 96 kernels of 11x11, stride 4, padding 2.
+    let conv1 = ConvGeometry::new(224, 11, 2, 4, 3, 96).expect("valid geometry");
+
+    let accel = Pcnna::new(PcnnaConfig::default()).expect("valid default config");
+    let report = accel
+        .analyze_conv_layers(&[("conv1", conv1)])
+        .expect("conv1 fits the paper design point");
+    let layer = &report.layers[0];
+
+    println!("PCNNA quickstart — {}", layer.geometry);
+    println!();
+    println!("receptive-field filtering (the paper's key optimization):");
+    println!("  rings without filtering : {:>14}", layer.rings_unfiltered);
+    println!("  rings with filtering    : {:>14}", layer.rings_filtered);
+    println!(
+        "  saving                  : {:>13.0}x",
+        layer.rings_unfiltered as f64 / layer.rings_filtered as f64
+    );
+    println!();
+    println!("execution time for the layer ({} kernel locations):", layer.locations);
+    println!("  optical core, PCNNA(O)  : {:>14}", layer.optical_time);
+    println!("  full system, PCNNA(O+E) : {:>14}", layer.full_system_time);
+    println!("  bound by                : {:>14}", layer.bottleneck);
+    println!();
+    println!(
+        "the optical core idles {:.1}x waiting for the electronic I/O — \
+         the paper's central full-system observation",
+        layer.timing.io_slowdown()
+    );
+}

@@ -1,0 +1,49 @@
+//! # PCNNA — Photonic Convolutional Neural Network Accelerator
+//!
+//! A full-system Rust model reproducing *"PCNNA: A Photonic Convolutional
+//! Neural Network Accelerator"* (Mehrabian, Al-Kabani, Sorger, El-Ghazawi —
+//! SOCC 2018, arXiv:1807.08792), from the microring device physics up to
+//! the paper's AlexNet evaluation.
+//!
+//! This meta-crate re-exports the workspace's public API:
+//!
+//! * [`cnn`] — CNN substrate: tensors, Table-I geometry, reference kernels,
+//!   model zoo, workloads.
+//! * [`photonics`] — silicon-photonic devices: microrings, MRR weight
+//!   banks, MZMs, lasers, photodiodes, broadcast-and-weight links.
+//! * [`electronics`] — mixed-signal substrate: DAC/ADC, SRAM, DRAM, clocks.
+//! * [`core`] — the accelerator: ring-allocation mapper (eq. 4/5),
+//!   scheduler (Fig. 3), analytical timing framework (eq. 6–8, Fig. 6),
+//!   pipeline simulator (Fig. 4) and functional photonic inference.
+//! * [`baselines`] — Eyeriss-like, YodaNN-like and roofline comparators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pcnna::core::{Pcnna, PcnnaConfig};
+//! use pcnna::cnn::zoo;
+//!
+//! let accel = Pcnna::new(PcnnaConfig::default()).unwrap();
+//! let report = accel.analyze_conv_layers(&zoo::alexnet_conv_layers()).unwrap();
+//! for layer in &report.layers {
+//!     println!(
+//!         "{}: {} rings (filtered), optical {} / full-system {}",
+//!         layer.name, layer.rings_filtered, layer.optical_time, layer.full_system_time
+//!     );
+//! }
+//! // The paper's headline: conv1 needs ~35k rings instead of ~5.2 billion.
+//! assert_eq!(report.layers[0].rings_filtered, 34_848);
+//! ```
+//!
+//! See the `examples/` directory for runnable scenarios: `quickstart`,
+//! `alexnet_analysis` (Fig. 5 + Fig. 6), `photonic_inference` (functional
+//! device-level CNN execution), `design_space` and `noise_study`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pcnna_baselines as baselines;
+pub use pcnna_cnn as cnn;
+pub use pcnna_core as core;
+pub use pcnna_electronics as electronics;
+pub use pcnna_photonics as photonics;

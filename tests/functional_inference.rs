@@ -1,0 +1,112 @@
+//! End-to-end functional validation: the photonic datapath computes
+//! convolutions that match the reference within the analog error budget,
+//! across layer shapes, workload statistics, and noise conditions.
+
+use pcnna::cnn::geometry::ConvGeometry;
+use pcnna::cnn::workload::Workload;
+use pcnna::core::functional::FunctionalOptions;
+use pcnna::core::{Pcnna, PcnnaConfig};
+
+fn accel() -> Pcnna {
+    Pcnna::new(PcnnaConfig::default()).unwrap()
+}
+
+#[test]
+fn lenet_first_layer_runs_photonically() {
+    // LeNet-5 c1: 28×28 input, 6 kernels of 5×5 — 784 locations through
+    // 6 calibrated banks of 25 rings.
+    let g = ConvGeometry::new(28, 5, 2, 1, 1, 6).unwrap();
+    let wl = Workload::structured(&g, 4);
+    let r = accel()
+        .run_functional(&g, &wl.input, &wl.kernels, &FunctionalOptions::default())
+        .unwrap();
+    assert!(r.accuracy.snr_db > 25.0, "SNR {} dB", r.accuracy.snr_db);
+}
+
+#[test]
+fn accuracy_holds_across_workload_statistics() {
+    let g = ConvGeometry::new(7, 3, 1, 1, 2, 4).unwrap();
+    let a = accel();
+    for (label, wl) in [
+        ("gaussian", Workload::gaussian(&g, 21)),
+        ("uniform", Workload::uniform(&g, 22)),
+        ("structured", Workload::structured(&g, 23)),
+    ] {
+        let r = a
+            .run_functional(&g, &wl.input, &wl.kernels, &FunctionalOptions::default())
+            .unwrap();
+        assert!(
+            r.accuracy.snr_db > 20.0,
+            "{label}: SNR {} dB",
+            r.accuracy.snr_db
+        );
+    }
+}
+
+#[test]
+fn stride_and_padding_variants_run() {
+    let a = accel();
+    for g in [
+        ConvGeometry::new(9, 3, 0, 2, 1, 2).unwrap(),
+        ConvGeometry::new(8, 2, 1, 2, 2, 3).unwrap(),
+        ConvGeometry::new(6, 5, 2, 1, 1, 2).unwrap(),
+    ] {
+        let wl = Workload::uniform(&g, 31);
+        let r = a
+            .run_functional(&g, &wl.input, &wl.kernels, &FunctionalOptions::default())
+            .unwrap();
+        assert_eq!(r.output.shape(), g.output_shape());
+        assert!(r.accuracy.snr_db > 18.0, "{g}: SNR {}", r.accuracy.snr_db);
+    }
+}
+
+#[test]
+fn noise_degrades_gracefully_not_catastrophically() {
+    let g = ConvGeometry::new(8, 3, 0, 1, 2, 4).unwrap();
+    let wl = Workload::uniform(&g, 41);
+    let a = accel();
+    let clean = a
+        .run_functional(&g, &wl.input, &wl.kernels, &FunctionalOptions::default())
+        .unwrap();
+    let noisy = a
+        .run_functional(
+            &g,
+            &wl.input,
+            &wl.kernels,
+            &FunctionalOptions {
+                noise: true,
+                seed: 5,
+                ..FunctionalOptions::default()
+            },
+        )
+        .unwrap();
+    assert!(noisy.accuracy.rmse >= clean.accuracy.rmse);
+    assert!(noisy.accuracy.rmse < clean.accuracy.rmse * 50.0 + 1e-3);
+}
+
+#[test]
+fn single_kernel_single_channel_minimum_case() {
+    let g = ConvGeometry::new(3, 3, 0, 1, 1, 1).unwrap();
+    let wl = Workload::uniform(&g, 51);
+    let r = accel()
+        .run_functional(&g, &wl.input, &wl.kernels, &FunctionalOptions::default())
+        .unwrap();
+    assert_eq!(r.output.shape(), &[1, 1, 1]);
+    let err = (r.output.as_slice()[0] - r.reference.as_slice()[0]).abs();
+    assert!(err < 0.05 * r.reference.as_slice()[0].abs().max(1.0));
+}
+
+#[test]
+fn all_zero_input_produces_near_zero_output() {
+    let g = ConvGeometry::new(5, 3, 0, 1, 1, 2).unwrap();
+    let wl = Workload::uniform(&g, 61);
+    let zeros = pcnna::cnn::tensor::Tensor::zeros(&[1, 5, 5]);
+    let r = accel()
+        .run_functional(&g, &zeros, &wl.kernels, &FunctionalOptions::default())
+        .unwrap();
+    assert!(
+        r.output.max_abs() < 0.05,
+        "zero input leaked {}",
+        r.output.max_abs()
+    );
+}

@@ -52,9 +52,7 @@ impl YodaNn {
     /// Cycles for a layer.
     #[must_use]
     pub fn layer_cycles(&self, g: &ConvGeometry) -> u64 {
-        let effective = self.macs_per_cycle as f64
-            * self.window_utilization(g)
-            * self.efficiency;
+        let effective = self.macs_per_cycle as f64 * self.window_utilization(g) * self.efficiency;
         (g.macs() as f64 / effective).ceil() as u64
     }
 }

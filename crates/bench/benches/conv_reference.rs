@@ -12,7 +12,10 @@ fn bench_conv_reference(c: &mut Criterion) {
     let cases = [
         ("lenet_c1", ConvGeometry::new(28, 5, 2, 1, 1, 6).unwrap()),
         ("cifar_c2", ConvGeometry::new(16, 3, 1, 1, 8, 16).unwrap()),
-        ("alex_c3_slice", ConvGeometry::new(13, 3, 1, 1, 64, 32).unwrap()),
+        (
+            "alex_c3_slice",
+            ConvGeometry::new(13, 3, 1, 1, 64, 32).unwrap(),
+        ),
     ];
     let mut group = c.benchmark_group("conv_reference");
     for (name, g) in cases {

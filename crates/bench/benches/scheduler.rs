@@ -10,14 +10,10 @@ fn bench_scheduler(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduler");
     group.sample_size(10);
     for (name, g) in zoo::alexnet_conv_layers() {
-        group.bench_with_input(
-            BenchmarkId::new("update_counts", name),
-            &g,
-            |b, g| {
-                let sched = LocationSchedule::new(*g, ScanOrder::RowMajor);
-                b.iter(|| sched.update_counts())
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("update_counts", name), &g, |b, g| {
+            let sched = LocationSchedule::new(*g, ScanOrder::RowMajor);
+            b.iter(|| sched.update_counts())
+        });
     }
     let conv4 = zoo::alexnet_conv_layers()[3].1;
     for (label, scan) in [

@@ -33,11 +33,9 @@ fn bench_simulator(c: &mut Criterion) {
         ("serpentine", ScanOrder::Serpentine),
     ] {
         let s = PipelineSimulator::new(PcnnaConfig::default().with_scan(scan)).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("scan_order", label),
-            &conv4,
-            |b, g| b.iter(|| s.simulate_layer("conv4", g).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("scan_order", label), &conv4, |b, g| {
+            b.iter(|| s.simulate_layer("conv4", g).unwrap())
+        });
     }
     group.finish();
 }

@@ -8,8 +8,7 @@ use pcnna_core::config::PcnnaConfig;
 use pcnna_core::functional::{FunctionalOptions, PhotonicConvExecutor};
 
 fn main() {
-    let exec = PhotonicConvExecutor::new(PcnnaConfig::default())
-        .expect("default config is valid");
+    let exec = PhotonicConvExecutor::new(PcnnaConfig::default()).expect("default config is valid");
     let net = zoo::cifar_small();
 
     let conditions: [(&str, FunctionalOptions); 4] = [

@@ -9,16 +9,22 @@ use pcnna_core::feasibility::{render_feasibility, FeasibilityModel, SpectralBudg
 
 fn main() {
     let budget = SpectralBudget::default();
-    let model = FeasibilityModel::new(PcnnaConfig::default(), budget)
-        .expect("default config is valid");
-    println!("spectral budgets at {} GHz spacing:", budget.channel_spacing_hz / 1e9);
+    let model =
+        FeasibilityModel::new(PcnnaConfig::default(), budget).expect("default config is valid");
+    println!(
+        "spectral budgets at {} GHz spacing:",
+        budget.channel_spacing_hz / 1e9
+    );
     println!("  C band        : {} channels", budget.c_band_channels());
     println!(
         "  ring FSR      : {} channels ({:.1} nm FSR at 10 um radius)",
         budget.fsr_channels(),
         budget.fsr_hz() * 1550e-9 * 1550e-9 / 2.997_924_58e8 * 1e9,
     );
-    println!("  usable        : {} simultaneous carriers", budget.usable_channels());
+    println!(
+        "  usable        : {} simultaneous carriers",
+        budget.usable_channels()
+    );
     println!();
 
     for (net, layers) in [

@@ -12,7 +12,10 @@ fn main() {
     println!();
     println!("slow (main) clock domain:");
     println!("  off-chip DRAM  <-> kernel-weights buffer / input buffer / output buffer");
-    println!("fast clock domain ({} GHz):", cfg.fast_clock.frequency_hz() / 1e9);
+    println!(
+        "fast clock domain ({} GHz):",
+        cfg.fast_clock.frequency_hz() / 1e9
+    );
     println!(
         "  SRAM cache ({} x 16b words, {} access)",
         cfg.sram.capacity_words(),
@@ -26,11 +29,7 @@ fn main() {
         cfg.input_dac.bits
     );
     println!("  LD array -> MZMs -> MRR weight-bank repository -> photodiodes");
-    println!(
-        "  {} ADCs @ {} GSa/s",
-        cfg.n_adcs,
-        cfg.adc.rate_sps / 1e9
-    );
+    println!("  {} ADCs @ {} GSa/s", cfg.n_adcs, cfg.adc.rate_sps / 1e9);
     println!();
 
     // A small layer's pipeline run to show the stage interplay.
@@ -46,8 +45,5 @@ fn main() {
         "  optical core util: {:.1}% (idles waiting on electronic I/O — the paper's point)",
         100.0 * r.optical_utilization()
     );
-    println!(
-        "  SRAM hit rate    : {:.1}%",
-        100.0 * r.cache.hit_rate()
-    );
+    println!("  SRAM hit rate    : {:.1}%", 100.0 * r.cache.hit_rate());
 }

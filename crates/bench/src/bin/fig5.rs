@@ -24,7 +24,10 @@ fn main() {
             "  conv1 unfiltered rings = {} (paper: ~5.2 billion)",
             unf.rings
         );
-        println!("  conv1 filtered rings   = {} (paper: ~35 thousand)", fil.rings);
+        println!(
+            "  conv1 filtered rings   = {} (paper: ~35 thousand)",
+            fil.rings
+        );
         println!(
             "  saving                 = {:.0}x (paper: >150k x)",
             fil.saving_vs_unfiltered(&conv1)

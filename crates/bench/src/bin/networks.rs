@@ -65,8 +65,7 @@ fn main() {
         ("fc7", 4096, 4096),
         ("fc8", 4096, 1000),
     ] {
-        let g = ConvGeometry::for_fully_connected(inputs, outputs)
-            .expect("fc dims are valid");
+        let g = ConvGeometry::for_fully_connected(inputs, outputs).expect("fc dims are valid");
         let plan = planner
             .plan(name, &g, &constraints)
             .expect("fc tiling succeeds");

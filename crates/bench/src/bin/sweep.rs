@@ -14,8 +14,7 @@ fn main() {
 
     println!("sweep 1 — input DAC count vs conv4 full-system time (analytical, DAC-only)");
     for n in [1usize, 2, 5, 10, 20, 50, 100] {
-        let accel = Pcnna::new(PcnnaConfig::default().with_input_dacs(n))
-            .expect("config is valid");
+        let accel = Pcnna::new(PcnnaConfig::default().with_input_dacs(n)).expect("config is valid");
         let t = accel
             .analyze_conv_layers(&[("conv4", conv4)])
             .expect("conv4 fits")
@@ -28,8 +27,8 @@ fn main() {
     println!("sweep 2 — fast clock vs conv4 optical-core time");
     for ghz in [1.0f64, 2.0, 5.0, 10.0, 20.0] {
         let clock = ClockDomain::new("fast", ghz * 1e9).expect("positive frequency");
-        let accel = Pcnna::new(PcnnaConfig::default().with_fast_clock(clock))
-            .expect("config is valid");
+        let accel =
+            Pcnna::new(PcnnaConfig::default().with_fast_clock(clock)).expect("config is valid");
         let t = accel
             .analyze_conv_layers(&[("conv4", conv4)])
             .expect("conv4 fits")

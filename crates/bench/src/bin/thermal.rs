@@ -24,8 +24,14 @@ fn calibrated_bank(n: usize) -> (MrrWeightBank, Vec<f64>) {
 
 fn main() {
     let tm = ThermalModel::default();
-    println!("thermal model: {:.0}% nearest-neighbour heater coupling,", tm.neighbor_coupling * 100.0);
-    println!("               {:.0} pm/K ambient drift", tm.drift_m_per_k * 1e12);
+    println!(
+        "thermal model: {:.0}% nearest-neighbour heater coupling,",
+        tm.neighbor_coupling * 100.0
+    );
+    println!(
+        "               {:.0} pm/K ambient drift",
+        tm.drift_m_per_k * 1e12
+    );
     println!();
 
     println!("== heater crosstalk on a calibrated 8-ring bank ==");

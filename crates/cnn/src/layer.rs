@@ -261,9 +261,7 @@ mod tests {
         let layer = Layer::Conv(ConvLayer::new("c", g));
         assert!(layer.output_shape(vol(3, 16)).is_err());
         assert!(layer.output_shape(vol(4, 15)).is_err());
-        assert!(layer
-            .output_shape(FeatureShape::Flat { len: 100 })
-            .is_err());
+        assert!(layer.output_shape(FeatureShape::Flat { len: 100 }).is_err());
     }
 
     #[test]

@@ -39,7 +39,8 @@ impl NetworkBuilder {
     /// Appends a convolution layer.
     #[must_use]
     pub fn conv(mut self, name: impl Into<String>, geometry: ConvGeometry) -> Self {
-        self.layers.push(Layer::Conv(ConvLayer::new(name, geometry)));
+        self.layers
+            .push(Layer::Conv(ConvLayer::new(name, geometry)));
         self
     }
 
@@ -200,7 +201,9 @@ impl Network {
         let mut acts = Vec::with_capacity(self.layers.len());
         let mut current = input.clone();
         for (i, layer) in self.layers.iter().enumerate() {
-            let layer_seed = seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let layer_seed = seed
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
             current = match layer {
                 Layer::Conv(conv) => {
                     let wl = Workload::gaussian(&conv.geometry, layer_seed);
@@ -274,7 +277,13 @@ mod tests {
         let net = small_net();
         let trace = net.shape_trace().unwrap();
         assert_eq!(trace.len(), net.layers().len() + 1);
-        assert_eq!(trace[0], FeatureShape::Volume { channels: 1, side: 8 });
+        assert_eq!(
+            trace[0],
+            FeatureShape::Volume {
+                channels: 1,
+                side: 8
+            }
+        );
         assert_eq!(*trace.last().unwrap(), FeatureShape::Flat { len: 10 });
     }
 

@@ -116,9 +116,8 @@ pub fn quantization_error(q: &Quantizer, t: &Tensor) -> (f32, f32) {
     let quant = q.quantize_tensor(t);
     let diff = t.sub(&quant).expect("same shape by construction");
     let max = diff.max_abs();
-    let rms = (diff.as_slice().iter().map(|v| v * v).sum::<f32>()
-        / diff.len().max(1) as f32)
-        .sqrt();
+    let rms =
+        (diff.as_slice().iter().map(|v| v * v).sum::<f32>() / diff.len().max(1) as f32).sqrt();
     (max, rms)
 }
 

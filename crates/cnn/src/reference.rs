@@ -171,12 +171,7 @@ pub fn conv2d_im2col(g: &ConvGeometry, input: &Tensor, kernels: &Tensor) -> Resu
 ///
 /// Returns [`CnnError::ShapeMismatch`] if `input` does not match `g`, or
 /// [`CnnError::IndexOutOfBounds`] if `(oy, ox)` is not a valid location.
-pub fn receptive_field(
-    g: &ConvGeometry,
-    input: &Tensor,
-    oy: usize,
-    ox: usize,
-) -> Result<Vec<f32>> {
+pub fn receptive_field(g: &ConvGeometry, input: &Tensor, oy: usize, ox: usize) -> Result<Vec<f32>> {
     let want_in = g.input_shape();
     if input.shape() != want_in {
         return Err(CnnError::ShapeMismatch {

@@ -240,8 +240,8 @@ impl TinyConvNet {
                             if y < 0 || x < 0 || y as usize >= n || x as usize >= n {
                                 continue;
                             }
-                            grad += dconv.at3(kk, oy, ox)
-                                * cache.input.at3(0, y as usize, x as usize);
+                            grad +=
+                                dconv.at3(kk, oy, ox) * cache.input.at3(0, y as usize, x as usize);
                         }
                     }
                     kw[(kk * 3 + ky) * 3 + kx] -= lr * grad;

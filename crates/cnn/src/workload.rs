@@ -131,8 +131,7 @@ fn oriented_kernels(shape: &[usize; 4], rng: &mut StdRng) -> Tensor {
                     let x = kx as f32 - (m as f32 - 1.0) / 2.0;
                     let along = x * ct + y * st;
                     let across = -x * st + y * ct;
-                    let v = along * (-(across * across) / 2.0).exp()
-                        / (m as f32 / 2.0).max(1.0);
+                    let v = along * (-(across * across) / 2.0).exp() / (m as f32 / 2.0).max(1.0);
                     data[((kk * nc + c) * m + ky) * m + kx] = v;
                 }
             }

@@ -9,10 +9,17 @@ use pcnna_cnn::tensor::Tensor;
 use pcnna_cnn::workload::Workload;
 
 fn geometries() -> impl Strategy<Value = ConvGeometry> {
-    (3usize..16, 1usize..6, 0usize..3, 1usize..4, 1usize..4, 1usize..6).prop_filter_map(
-        "kernel must fit padded input",
-        |(n, m, p, s, nc, k)| ConvGeometry::new(n, m, p, s, nc, k).ok(),
+    (
+        3usize..16,
+        1usize..6,
+        0usize..3,
+        1usize..4,
+        1usize..4,
+        1usize..6,
     )
+        .prop_filter_map("kernel must fit padded input", |(n, m, p, s, nc, k)| {
+            ConvGeometry::new(n, m, p, s, nc, k).ok()
+        })
 }
 
 proptest! {

@@ -104,10 +104,7 @@ impl Pcnna {
     /// # Errors
     ///
     /// Propagates per-layer resource failures.
-    pub fn analyze_conv_layers(
-        &self,
-        layers: &[(&str, ConvGeometry)],
-    ) -> Result<NetworkReport> {
+    pub fn analyze_conv_layers(&self, layers: &[(&str, ConvGeometry)]) -> Result<NetworkReport> {
         use crate::config::AllocationPolicy;
         use crate::mapping::RingAllocation;
         let mut rows = Vec::with_capacity(layers.len());
@@ -149,10 +146,7 @@ impl Pcnna {
     /// # Errors
     ///
     /// Propagates per-layer resource failures.
-    pub fn simulate_conv_layers(
-        &self,
-        layers: &[(&str, ConvGeometry)],
-    ) -> Result<Vec<SimResult>> {
+    pub fn simulate_conv_layers(&self, layers: &[(&str, ConvGeometry)]) -> Result<Vec<SimResult>> {
         PipelineSimulator::new(self.config)?.simulate_network(layers)
     }
 
@@ -204,10 +198,7 @@ mod tests {
         // optical total: (3025 + 729 + 3·169) locations × 200 ps
         let locs: u64 = report.layers.iter().map(|l| l.locations).sum();
         assert_eq!(locs, 3025 + 729 + 169 * 3);
-        assert_eq!(
-            report.total_optical(),
-            SimTime::from_ps(locs * 200)
-        );
+        assert_eq!(report.total_optical(), SimTime::from_ps(locs * 200));
         // full-system total is microseconds: electronics dominate
         assert!(report.total_full_system() > report.total_optical());
     }

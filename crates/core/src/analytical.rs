@@ -63,7 +63,8 @@ impl LayerTiming {
     /// much the electronics cost.
     #[must_use]
     pub fn io_slowdown(&self) -> f64 {
-        self.full_system_time.ratio(self.optical_time.max(SimTime::from_ps(1)))
+        self.full_system_time
+            .ratio(self.optical_time.max(SimTime::from_ps(1)))
     }
 }
 
@@ -150,10 +151,7 @@ impl AnalyticalModel {
     #[must_use]
     pub fn full_system_per_location(&self, g: &ConvGeometry) -> (SimTime, &'static str) {
         let alloc = RingAllocation::for_layer(g, self.config.allocation);
-        let optical = self
-            .config
-            .fast_clock
-            .cycles(alloc.passes_per_location);
+        let optical = self.config.fast_clock.cycles(alloc.passes_per_location);
         let dac = self.dac_time_per_location(g);
         match self.config.bottleneck {
             BottleneckModel::DacOnly => (dac.max(optical), "dac"),
@@ -300,10 +298,7 @@ mod tests {
         let g = zoo::alexnet_conv_layers()[3].1;
         let t = m.layer_timing("conv4", &g).unwrap();
         let slowdown = t.io_slowdown();
-        assert!(
-            (50.0..1000.0).contains(&slowdown),
-            "io slowdown {slowdown}"
-        );
+        assert!((50.0..1000.0).contains(&slowdown), "io slowdown {slowdown}");
     }
 
     #[test]
@@ -353,16 +348,13 @@ mod tests {
 
     #[test]
     fn channel_sequential_multiplies_optical_passes() {
-        let cfg = PcnnaConfig::default()
-            .with_allocation(AllocationPolicy::FilteredChannelSequential);
+        let cfg =
+            PcnnaConfig::default().with_allocation(AllocationPolicy::FilteredChannelSequential);
         let m = AnalyticalModel::new(cfg).unwrap();
         let g = zoo::alexnet_conv_layers()[3].1;
         let t = m.layer_timing("conv4", &g).unwrap();
         assert_eq!(t.passes_per_location, 384);
-        assert_eq!(
-            t.optical_time,
-            SimTime::from_ps(169 * 384 * 200)
-        );
+        assert_eq!(t.optical_time, SimTime::from_ps(169 * 384 * 200));
     }
 
     #[test]

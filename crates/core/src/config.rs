@@ -209,7 +209,10 @@ mod tests {
 
     #[test]
     fn validation_catches_zeros() {
-        assert!(PcnnaConfig::default().with_input_dacs(0).validate().is_err());
+        assert!(PcnnaConfig::default()
+            .with_input_dacs(0)
+            .validate()
+            .is_err());
         let c = PcnnaConfig {
             n_adcs: 0,
             ..PcnnaConfig::default()

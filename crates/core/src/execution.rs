@@ -95,7 +95,9 @@ impl ExecutionModel {
                 SimTime::ZERO
             };
             let compute = if self.config.include_weight_load {
-                timing.full_system_time.saturating_sub(timing.weight_load_time)
+                timing
+                    .full_system_time
+                    .saturating_sub(timing.weight_load_time)
             } else {
                 timing.full_system_time
             };
@@ -165,7 +167,9 @@ impl ExecutionModel {
             // this mode (regardless of include_weight_load, which governs
             // the per-frame accounting of `run`).
             let compute = if self.config.include_weight_load {
-                timing.full_system_time.saturating_sub(timing.weight_load_time)
+                timing
+                    .full_system_time
+                    .saturating_sub(timing.weight_load_time)
             } else {
                 timing.full_system_time
             };
@@ -210,7 +214,10 @@ mod tests {
         let fps = run.frames_per_second();
         assert!(fps > 5e3, "fps {fps}");
         let writeback: SimTime = run.phases.iter().map(|p| p.writeback).sum();
-        assert!(writeback.ratio(run.latency) > 0.5, "writeback should dominate");
+        assert!(
+            writeback.ratio(run.latency) > 0.5,
+            "writeback should dominate"
+        );
     }
 
     #[test]
@@ -233,7 +240,11 @@ mod tests {
         assert!(with.latency.as_us_f64() > 3.0 * without.latency.as_us_f64());
         // weight load phases dominate the frame latency
         let wl: SimTime = with.phases.iter().map(|p| p.weight_load).sum();
-        assert!(wl.ratio(with.latency) > 0.7, "weight-load share {}", wl.ratio(with.latency));
+        assert!(
+            wl.ratio(with.latency) > 0.7,
+            "weight-load share {}",
+            wl.ratio(with.latency)
+        );
     }
 
     #[test]

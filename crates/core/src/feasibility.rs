@@ -167,10 +167,7 @@ impl FeasibilityModel {
     /// Feasibility of a list of layers.
     #[must_use]
     pub fn network(&self, layers: &[(&str, ConvGeometry)]) -> Vec<LayerFeasibility> {
-        layers
-            .iter()
-            .map(|(name, g)| self.layer(name, g))
-            .collect()
+        layers.iter().map(|(name, g)| self.layer(name, g)).collect()
     }
 }
 
@@ -256,14 +253,18 @@ mod tests {
         let r = m.layer("conv1", &zoo::alexnet_conv_layers()[0].1);
         assert_eq!(r.wavelengths_required, 363);
         // 363 / 22-23 usable ≈ 16-17 passes
-        assert!((15..=19).contains(&r.spectral_passes), "{}", r.spectral_passes);
+        assert!(
+            (15..=19).contains(&r.spectral_passes),
+            "{}",
+            r.spectral_passes
+        );
     }
 
     #[test]
     fn channel_sequential_allocation_often_fits_one_pass() {
         // m·m carriers (9 for 3x3 kernels) fit easily.
-        let cfg = PcnnaConfig::default()
-            .with_allocation(AllocationPolicy::FilteredChannelSequential);
+        let cfg =
+            PcnnaConfig::default().with_allocation(AllocationPolicy::FilteredChannelSequential);
         let m = FeasibilityModel::new(cfg, SpectralBudget::default()).unwrap();
         let conv3 = zoo::alexnet_conv_layers()[2].1;
         let r = m.layer("conv3", &conv3);

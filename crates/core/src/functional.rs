@@ -307,8 +307,12 @@ mod tests {
             seed: 9,
             ..FunctionalOptions::default()
         };
-        let a = executor().run_layer(&g, &wl.input, &wl.kernels, &opts).unwrap();
-        let b = executor().run_layer(&g, &wl.input, &wl.kernels, &opts).unwrap();
+        let a = executor()
+            .run_layer(&g, &wl.input, &wl.kernels, &opts)
+            .unwrap();
+        let b = executor()
+            .run_layer(&g, &wl.input, &wl.kernels, &opts)
+            .unwrap();
         assert_eq!(a.output, b.output);
     }
 

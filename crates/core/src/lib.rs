@@ -32,6 +32,11 @@
 //!   budgets, with partial-sum accounting (reproduction extension).
 //! * [`controller`] — sizes the thermal recalibration loop real MRR banks
 //!   require: period, cost, duty overhead (reproduction extension).
+//! * [`serving`] — collapses a (network, config) pair into an affine
+//!   [`serving::ServiceQuote`] (weight-load intercept + per-frame slope for
+//!   time and energy) so the `pcnna-fleet` serving simulator can price
+//!   batches without re-running the analytical model (reproduction
+//!   extension).
 //! * [`accel`] — the high-level [`accel::Pcnna`] API tying it all together.
 //! * [`report`] — human-readable and serializable reports.
 //!
@@ -67,6 +72,7 @@ pub mod mapping;
 pub mod power;
 pub mod report;
 pub mod scheduler;
+pub mod serving;
 pub mod simulator;
 pub mod tiling;
 

@@ -121,8 +121,7 @@ pub fn figure5(layers: &[(&str, ConvGeometry)], area: &AreaModel) -> Vec<Fig5Row
         .map(|(name, g)| {
             let unf = RingAllocation::for_layer(g, AllocationPolicy::Unfiltered);
             let fil = RingAllocation::for_layer(g, AllocationPolicy::Filtered);
-            let seq =
-                RingAllocation::for_layer(g, AllocationPolicy::FilteredChannelSequential);
+            let seq = RingAllocation::for_layer(g, AllocationPolicy::FilteredChannelSequential);
             Fig5Row {
                 layer: (*name).to_owned(),
                 not_filtered: unf.rings,

@@ -113,8 +113,7 @@ impl PowerModel {
         // SRAM accessed once per updated value per location; approximate the
         // access rate by updates/loc over the per-location time.
         let sram = self.config.sram.power_w(
-            g.updated_inputs_per_location() as f64 * self.config.fast_clock.frequency_hz()
-                / 1000.0, // conservative duty scaling
+            g.updated_inputs_per_location() as f64 * self.config.fast_clock.frequency_hz() / 1000.0, // conservative duty scaling
         );
         dacs + adcs + sram
     }
@@ -137,10 +136,9 @@ impl PowerModel {
                 * secs,
             adc_j: self.config.adc.power_w * self.config.n_adcs as f64 * secs,
             sram_j: 0.0,
-            dram_j: self
-                .config
-                .dram
-                .transfer_energy_j((g.n_input() + g.weight_count() + g.n_output()) * 2),
+            dram_j: self.config.dram.transfer_energy_j(
+                (g.n_input() + g.weight_count() + g.n_output()) * self.config.bytes_per_value,
+            ),
             photonic_j: photonic.energy_j(secs),
         };
         let macs_per_joule = if energy.total_j() > 0.0 {

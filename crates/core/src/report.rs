@@ -99,10 +99,7 @@ pub fn render_simulation(results: &[SimResult]) -> String {
 /// Renders a speedup comparison row set: layer name and per-engine times,
 /// computing speedups against the first engine.
 #[must_use]
-pub fn render_comparison(
-    engines: &[&str],
-    rows: &[(String, Vec<SimTime>)],
-) -> String {
+pub fn render_comparison(engines: &[&str], rows: &[(String, Vec<SimTime>)]) -> String {
     let mut out = String::new();
     out.push_str(&format!("{:<8}", "layer"));
     for e in engines {

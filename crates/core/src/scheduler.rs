@@ -143,10 +143,7 @@ impl LocationSchedule {
         let mut previous: HashSet<u64> = HashSet::new();
         for &loc in &self.order {
             let required = self.required_inputs(loc);
-            let new = required
-                .iter()
-                .filter(|a| !previous.contains(a))
-                .count() as u64;
+            let new = required.iter().filter(|a| !previous.contains(a)).count() as u64;
             counts.push(new);
             previous = required.into_iter().collect();
         }

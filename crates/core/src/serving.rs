@@ -1,0 +1,199 @@
+//! Serving-oriented execution summaries (reproduction extension).
+//!
+//! The fleet simulator (`pcnna-fleet`) replays millions of requests against
+//! a pool of PCNNA instances. Re-running [`AnalyticalModel`] per request
+//! would dominate the simulation, so this module collapses a whole network
+//! on a given [`PcnnaConfig`] into a [`ServiceQuote`] — the affine
+//! batch-cost model
+//!
+//! ```text
+//! service_time(batch)  = weight_load + batch · per_frame
+//! service_energy(batch) = weight_load_energy + batch · per_frame_energy
+//! ```
+//!
+//! which is exact for the layer-major batched execution of
+//! [`ExecutionModel::run_batched`]: per batch, each layer programs its MRR
+//! weights once (the single weight-DAC bottleneck the paper describes) and
+//! then streams every frame through. A quote is computed once per
+//! (network, config) pair and is `Copy`, so a scheduler hot loop prices a
+//! candidate batch with two multiply-adds and no allocation.
+
+use crate::config::PcnnaConfig;
+use crate::execution::ExecutionModel;
+use crate::power::{PowerAssumptions, PowerModel};
+use crate::Result;
+use pcnna_cnn::geometry::ConvGeometry;
+use pcnna_electronics::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// The affine time/energy cost of serving one network on one config.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceQuote {
+    /// One-time cost per batch: reprogramming every layer's MRR bank
+    /// through the weight DAC(s).
+    pub weight_load: SimTime,
+    /// Marginal cost per frame in the batch (compute + DRAM writeback).
+    pub per_frame: SimTime,
+    /// Energy of the per-batch weight reprogramming, joules.
+    pub weight_load_energy_j: f64,
+    /// Marginal energy per frame, joules (converters, DRAM, photonics at
+    /// the analytical execution time).
+    pub per_frame_energy_j: f64,
+}
+
+impl ServiceQuote {
+    /// Service time for a batch of `batch` frames.
+    #[must_use]
+    pub fn batch_service_time(&self, batch: u64) -> SimTime {
+        self.weight_load + self.per_frame.saturating_mul(batch)
+    }
+
+    /// Energy to serve a batch of `batch` frames, joules.
+    #[must_use]
+    pub fn batch_energy_j(&self, batch: u64) -> f64 {
+        self.weight_load_energy_j + batch as f64 * self.per_frame_energy_j
+    }
+
+    /// Steady-state frames/second at a given batch size.
+    #[must_use]
+    pub fn throughput_fps(&self, batch: u64) -> f64 {
+        let secs = self.batch_service_time(batch).as_secs_f64();
+        if secs > 0.0 {
+            batch as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Computes the [`ServiceQuote`] for `layers` on `config`.
+///
+/// The time terms are extracted from the batched execution model by
+/// evaluating it at batch sizes 1 and 2 (the model is affine in the batch,
+/// so this recovers intercept and slope exactly, and stays correct if the
+/// underlying model gains terms later). Energy combines the per-layer
+/// [`PowerModel`] ledgers with the weight-DAC energy of the reprogramming
+/// phase.
+///
+/// # Errors
+///
+/// Propagates configuration and per-layer resource failures.
+pub fn quote(
+    config: &PcnnaConfig,
+    assumptions: &PowerAssumptions,
+    layers: &[(&str, ConvGeometry)],
+) -> Result<ServiceQuote> {
+    let exec = ExecutionModel::new(*config)?;
+    let b1 = exec.run_batched(layers, 1)?;
+    let b2 = exec.run_batched(layers, 2)?;
+    let per_frame = b2.total.saturating_sub(b1.total);
+    let weight_load = b1.total.saturating_sub(per_frame);
+
+    // Price per-frame energy at the *marginal* frame time. The power model
+    // integrates power over `full_system_time`, which folds the weight-load
+    // window in when `include_weight_load` is set — that window is already
+    // billed separately below, once per batch, so force it out of the
+    // per-frame term to avoid double-counting it `batch` times.
+    let energy_config = PcnnaConfig {
+        include_weight_load: false,
+        ..*config
+    };
+    let power = PowerModel::new(energy_config, *assumptions)?;
+    let per_frame_energy_j: f64 = power
+        .network_power(layers)?
+        .iter()
+        .map(|lp| lp.energy.total_j())
+        .sum();
+    // The reprogramming phase keeps the weight DAC(s) streaming set points
+    // for the whole weight_load window.
+    let weight_load_energy_j =
+        config.input_dac.power_w * config.n_weight_dacs as f64 * weight_load.as_secs_f64();
+
+    Ok(ServiceQuote {
+        weight_load,
+        per_frame,
+        weight_load_energy_j,
+        per_frame_energy_j,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnna_cnn::zoo;
+
+    #[test]
+    fn quote_matches_batched_execution_exactly() {
+        let cfg = PcnnaConfig::default();
+        let layers = zoo::alexnet_conv_layers();
+        let q = quote(&cfg, &PowerAssumptions::default(), &layers).unwrap();
+        let exec = ExecutionModel::new(cfg).unwrap();
+        for batch in [1u64, 2, 7, 64, 1024] {
+            let direct = exec.run_batched(&layers, batch).unwrap();
+            assert_eq!(q.batch_service_time(batch), direct.total, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn quote_terms_are_positive_for_alexnet() {
+        let q = quote(
+            &PcnnaConfig::default(),
+            &PowerAssumptions::default(),
+            &zoo::alexnet_conv_layers(),
+        )
+        .unwrap();
+        assert!(q.weight_load > SimTime::ZERO);
+        assert!(q.per_frame > SimTime::ZERO);
+        assert!(q.weight_load_energy_j > 0.0);
+        assert!(q.per_frame_energy_j > 0.0);
+    }
+
+    #[test]
+    fn batching_amortizes_weight_load_in_quote() {
+        let q = quote(
+            &PcnnaConfig::default(),
+            &PowerAssumptions::default(),
+            &zoo::alexnet_conv_layers(),
+        )
+        .unwrap();
+        assert!(q.throughput_fps(64) > q.throughput_fps(1));
+        assert!(q.throughput_fps(1024) > q.throughput_fps(64));
+        // energy per frame also amortizes
+        let e1 = q.batch_energy_j(1);
+        let e64 = q.batch_energy_j(64) / 64.0;
+        assert!(e64 < e1);
+    }
+
+    #[test]
+    fn per_frame_energy_excludes_weight_load_regardless_of_config() {
+        // With include_weight_load set, full_system_time folds the reload
+        // window in; the quote must still bill that window once per batch,
+        // not once per frame.
+        let layers = zoo::alexnet_conv_layers();
+        let without = quote(
+            &PcnnaConfig::default(),
+            &PowerAssumptions::default(),
+            &layers,
+        )
+        .unwrap();
+        let with = quote(
+            &PcnnaConfig {
+                include_weight_load: true,
+                ..PcnnaConfig::default()
+            },
+            &PowerAssumptions::default(),
+            &layers,
+        )
+        .unwrap();
+        assert_eq!(with.per_frame_energy_j, without.per_frame_energy_j);
+        assert_eq!(with.weight_load_energy_j, without.weight_load_energy_j);
+    }
+
+    #[test]
+    fn empty_network_quotes_zero() {
+        let q = quote(&PcnnaConfig::default(), &PowerAssumptions::default(), &[]).unwrap();
+        assert_eq!(q.weight_load, SimTime::ZERO);
+        assert_eq!(q.per_frame, SimTime::ZERO);
+        assert_eq!(q.batch_energy_j(10), 0.0);
+    }
+}

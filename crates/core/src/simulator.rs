@@ -128,10 +128,7 @@ impl PipelineSimulator {
 
         let optical_pass = self.config.fast_clock.cycles(alloc.passes_per_location);
         let adc_batch = self.adcs.convert_time(k);
-        let writeback = self
-            .config
-            .dram
-            .streaming_time(k * bytes_per_value);
+        let writeback = self.config.dram.streaming_time(k * bytes_per_value);
         let back_duration = adc_batch.max(writeback);
 
         // Weight load: every ring's set point converted once by the weight
@@ -154,12 +151,8 @@ impl PipelineSimulator {
         for &loc in schedule.locations() {
             let required = schedule.required_inputs(loc);
             // Newly required values relative to the previous window.
-            let prev_set: std::collections::HashSet<u64> =
-                previous.iter().copied().collect();
-            let new_count = required
-                .iter()
-                .filter(|a| !prev_set.contains(a))
-                .count() as u64;
+            let prev_set: std::collections::HashSet<u64> = previous.iter().copied().collect();
+            let new_count = required.iter().filter(|a| !prev_set.contains(a)).count() as u64;
             total_input_loads += new_count;
 
             // Serve the new values: cache hits are free refills (the value
@@ -176,12 +169,7 @@ impl PipelineSimulator {
             let dac_time = self.input_dacs.convert_time(new_count);
             energy.dac_j += self.input_dacs.convert_energy_j(new_count);
             let dram_time = self.config.dram.streaming_time(miss_bytes);
-            let front_duration = self
-                .config
-                .sram
-                .access_time
-                .max(dac_time)
-                .max(dram_time);
+            let front_duration = self.config.sram.access_time.max(dac_time).max(dram_time);
             let front_done = front_free + front_duration;
             busy.front_end += front_duration;
             front_free = front_done;
@@ -200,10 +188,7 @@ impl PipelineSimulator {
             back_free = back_done;
             energy.adc_j += self.adcs.convert_energy_j(k);
             traffic.output_writes += k * bytes_per_value;
-            energy.dram_j += self
-                .config
-                .dram
-                .transfer_energy_j(k * bytes_per_value);
+            energy.dram_j += self.config.dram.transfer_energy_j(k * bytes_per_value);
 
             previous = required;
         }
@@ -301,23 +286,17 @@ mod tests {
     fn cache_captures_sliding_window_reuse() {
         let r = sim().simulate_layer("t", &small_geometry()).unwrap();
         // Stride-1 3×3 windows overlap heavily: hit rate well above half.
-        assert!(
-            r.cache.hit_rate() > 0.5,
-            "hit rate {}",
-            r.cache.hit_rate()
-        );
+        assert!(r.cache.hit_rate() > 0.5, "hit rate {}", r.cache.hit_rate());
     }
 
     #[test]
     fn serpentine_loads_fewer_inputs_than_raster() {
         let g = small_geometry();
         let raster = sim().simulate_layer("t", &g).unwrap();
-        let serp = PipelineSimulator::new(
-            PcnnaConfig::default().with_scan(ScanOrder::Serpentine),
-        )
-        .unwrap()
-        .simulate_layer("t", &g)
-        .unwrap();
+        let serp = PipelineSimulator::new(PcnnaConfig::default().with_scan(ScanOrder::Serpentine))
+            .unwrap()
+            .simulate_layer("t", &g)
+            .unwrap();
         assert!(serp.total_input_loads < raster.total_input_loads);
         assert!(serp.total_time <= raster.total_time);
     }

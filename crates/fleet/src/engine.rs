@@ -1,0 +1,693 @@
+//! The discrete-event fleet engine.
+//!
+//! State: a lazily generated arrival stream, per-class admission queues
+//! (bounded — overflow is rejected, as a real front end would shed load),
+//! and N accelerator instances, each a [`PcnnaConfig`] of its own so fleets
+//! can be heterogeneous (e.g. mixed DAC counts or clocks). Every
+//! (instance, class) pair is quoted once via [`pcnna_core::serving::quote`]
+//! and memoized; after setup the hot loop touches only the event heap, the
+//! queues, and those `Copy` quotes — no analytical model, no allocation
+//! beyond batch vectors.
+//!
+//! Dispatch is greedy: when an instance frees up (or a request arrives to
+//! an idle fleet), the scheduling policy picks a class, a batch of up to
+//! `max_batch` same-class requests is popped, and the batch runs on the
+//! idle instance that would *complete it earliest* (fastest-available
+//! placement under heterogeneity).
+//!
+//! A batch's cost is the quote's affine model — `weight_load +
+//! n · per_frame` — with one scenario-controlled exception: under
+//! [`FleetScenario::resident_weights`] an instance that just served a
+//! network keeps its weights programmed, so a same-network follow-up
+//! batch skips the `weight_load` phase (see the field's doc for the
+//! hardware assumption this encodes).
+
+use crate::metrics::{ClassReport, FleetReport, LatencySummary};
+use crate::scheduler::{ClassQueues, Policy};
+use crate::workload::{ArrivalProcess, ArrivalSampler, NetworkClass, Request, TrafficMix};
+use crate::{FleetError, Result};
+use pcnna_core::config::PcnnaConfig;
+use pcnna_core::power::PowerAssumptions;
+use pcnna_core::serving::{quote, ServiceQuote};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A complete serving experiment description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetScenario {
+    /// The served networks with SLOs and traffic weights.
+    pub classes: Vec<NetworkClass>,
+    /// Request arrival process.
+    pub arrival: ArrivalProcess,
+    /// Batching admission policy.
+    pub policy: Policy,
+    /// One config per accelerator instance (heterogeneous fleets allowed).
+    pub instances: Vec<PcnnaConfig>,
+    /// Power assumptions used for the energy quotes.
+    pub assumptions: PowerAssumptions,
+    /// Largest batch a single dispatch may carry.
+    pub max_batch: u64,
+    /// Admission bound: arrivals beyond this queue depth are rejected.
+    pub queue_capacity: usize,
+    /// Weight-residency assumption. The paper's design has **one**
+    /// physical MRR bank that is serially reprogrammed per layer per
+    /// batch — under that reading (`false`) every batch pays the full
+    /// `weight_load` phase and network affinity degenerates to depth-first
+    /// service. `true` (the default) models a deployment extension where
+    /// each instance provisions enough banks to keep one whole network's
+    /// weights resident, so a same-network follow-up batch skips the
+    /// reprogramming phase — the amortization the affinity policy targets.
+    pub resident_weights: bool,
+    /// Arrivals are generated for this long, seconds.
+    pub horizon_s: f64,
+    /// RNG seed (arrivals + class sampling).
+    pub seed: u64,
+}
+
+impl Default for FleetScenario {
+    fn default() -> Self {
+        FleetScenario {
+            classes: vec![NetworkClass::alexnet(0.050, 1.0)],
+            arrival: ArrivalProcess::Poisson { rate_rps: 1000.0 },
+            policy: Policy::Fifo,
+            instances: vec![PcnnaConfig::default()],
+            assumptions: PowerAssumptions::default(),
+            max_batch: 32,
+            queue_capacity: 10_000,
+            resident_weights: true,
+            horizon_s: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+impl FleetScenario {
+    /// Validates the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidScenario`] for empty classes/instances,
+    /// a zero batch bound, a non-positive horizon, or bad arrival rates.
+    pub fn validate(&self) -> Result<()> {
+        let fail = |reason: String| Err(FleetError::InvalidScenario { reason });
+        if self.classes.is_empty() {
+            return fail("need at least one network class".to_owned());
+        }
+        if self.instances.is_empty() {
+            return fail("need at least one accelerator instance".to_owned());
+        }
+        if self.max_batch == 0 {
+            return fail("max_batch must be at least 1".to_owned());
+        }
+        if self.queue_capacity == 0 {
+            return fail("queue_capacity must be at least 1 (0 rejects everything)".to_owned());
+        }
+        if !(self.horizon_s > 0.0) {
+            return fail(format!("horizon must be positive, got {}", self.horizon_s));
+        }
+        if let Err(reason) = self.arrival.validate() {
+            return fail(reason);
+        }
+        for c in &self.classes {
+            if c.layers.is_empty() {
+                // An empty stack quotes to zero time and energy — every
+                // request would "complete" instantly and poison the stats.
+                return fail(format!("class {} has no conv layers to serve", c.name));
+            }
+            if !(c.weight > 0.0) {
+                return fail(format!("class {} weight must be positive", c.name));
+            }
+            if !(c.slo_s > 0.0) {
+                return fail(format!("class {} SLO must be positive", c.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Memoizes the `instances × classes` quote table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates config/resource failures from the core models.
+    pub fn quote_table(&self) -> Result<QuoteTable> {
+        let mut per_instance = Vec::with_capacity(self.instances.len());
+        for config in &self.instances {
+            let mut row = Vec::with_capacity(self.classes.len());
+            for class in &self.classes {
+                row.push(quote(config, &self.assumptions, &class.layer_refs())?);
+            }
+            per_instance.push(row);
+        }
+        Ok(QuoteTable { per_instance })
+    }
+
+    /// Runs the simulation to completion (arrivals stop at the horizon; the
+    /// queue then drains, so every admitted request completes).
+    ///
+    /// # Errors
+    ///
+    /// Returns scenario-validation or core quoting failures.
+    pub fn simulate(&self) -> Result<FleetReport> {
+        self.validate()?;
+        let quotes = self.quote_table()?;
+        Ok(Engine::new(self, &quotes).run())
+    }
+}
+
+/// Memoized per-(instance, class) service quotes.
+#[derive(Debug, Clone)]
+pub struct QuoteTable {
+    per_instance: Vec<Vec<ServiceQuote>>,
+}
+
+impl QuoteTable {
+    /// The quote for `class` on `instance`.
+    #[must_use]
+    pub fn get(&self, instance: usize, class: usize) -> ServiceQuote {
+        self.per_instance[instance][class]
+    }
+}
+
+/// f64 time as a totally ordered heap key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct EventTime(f64);
+
+impl Eq for EventTime {}
+impl PartialOrd for EventTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+struct InFlight {
+    class: usize,
+    requests: Vec<Request>,
+}
+
+struct Engine<'a> {
+    scenario: &'a FleetScenario,
+    quotes: &'a QuoteTable,
+    queues: ClassQueues,
+    // instance state
+    busy: Vec<Option<InFlight>>,
+    // which class's MRR weights each instance currently holds — a
+    // same-class follow-up batch skips the weight reprogramming phase
+    loaded: Vec<Option<usize>>,
+    busy_time_s: Vec<f64>,
+    // completion min-heap: (time, instance)
+    completions: BinaryHeap<Reverse<(EventTime, usize)>>,
+    // accounting
+    offered: u64,
+    admitted: u64,
+    rejected: u64,
+    completed: u64,
+    batches: u64,
+    per_instance_batches: Vec<u64>,
+    weight_reloads: u64,
+    energy_j: f64,
+    last_event_s: f64,
+    admitted_per_class: Vec<u64>,
+    latencies_per_class: Vec<Vec<f64>>,
+    on_time_per_class: Vec<u64>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(scenario: &'a FleetScenario, quotes: &'a QuoteTable) -> Self {
+        let n_classes = scenario.classes.len();
+        Engine {
+            scenario,
+            quotes,
+            queues: ClassQueues::new(n_classes),
+            busy: (0..scenario.instances.len()).map(|_| None).collect(),
+            loaded: vec![None; scenario.instances.len()],
+            busy_time_s: vec![0.0; scenario.instances.len()],
+            completions: BinaryHeap::new(),
+            offered: 0,
+            admitted: 0,
+            rejected: 0,
+            completed: 0,
+            batches: 0,
+            per_instance_batches: vec![0; scenario.instances.len()],
+            weight_reloads: 0,
+            energy_j: 0.0,
+            last_event_s: 0.0,
+            admitted_per_class: vec![0; n_classes],
+            latencies_per_class: vec![Vec::new(); n_classes],
+            on_time_per_class: vec![0; n_classes],
+        }
+    }
+
+    fn run(mut self) -> FleetReport {
+        let mix = TrafficMix::new(self.scenario.classes.clone());
+        let mut sampler = ArrivalSampler::new(self.scenario.arrival, self.scenario.seed);
+        let mut class_rng = StdRng::seed_from_u64(self.scenario.seed ^ 0xC1A5_55E5);
+        let mut next_id: u64 = 0;
+        let horizon_s = self.scenario.horizon_s;
+        let mut sample_arrival = move || Some(sampler.next_arrival_s()).filter(|&t| t < horizon_s);
+        let mut next_arrival = sample_arrival();
+
+        loop {
+            let next_completion = self.completions.peek().map(|Reverse((t, _))| t.0);
+            match (next_arrival, next_completion) {
+                (Some(ta), tc) if tc.is_none_or(|tc| ta <= tc) => {
+                    // Arrival event.
+                    self.offered += 1;
+                    let class = mix.sample_class(&mut class_rng);
+                    let req = Request {
+                        id: next_id,
+                        class,
+                        arrival_s: ta,
+                        deadline_s: ta + self.scenario.classes[class].slo_s,
+                    };
+                    next_id += 1;
+                    if self.queues.len() < self.scenario.queue_capacity {
+                        self.queues.push(req);
+                        self.admitted += 1;
+                        self.admitted_per_class[class] += 1;
+                        self.dispatch_idle(ta);
+                    } else {
+                        self.rejected += 1;
+                    }
+                    self.last_event_s = self.last_event_s.max(ta);
+                    next_arrival = sample_arrival();
+                }
+                (None, None) => break,
+                (_, _) => {
+                    // Completion event (the guard above routes every state
+                    // with no completion pending to the arrival arm or the
+                    // loop exit, so the heap is non-empty here).
+                    let Reverse((t, instance)) = self.completions.pop().expect("peeked");
+                    let tc = t.0;
+                    let inflight = self.busy[instance].take().expect("completion on idle");
+                    for r in &inflight.requests {
+                        let latency = tc - r.arrival_s;
+                        self.latencies_per_class[inflight.class].push(latency);
+                        if tc <= r.deadline_s {
+                            self.on_time_per_class[inflight.class] += 1;
+                        }
+                        self.completed += 1;
+                    }
+                    self.last_event_s = self.last_event_s.max(tc);
+                    self.dispatch_idle(tc);
+                }
+            }
+        }
+
+        self.report()
+    }
+
+    /// Whether a batch of `class` on `instance` skips the weight-load
+    /// phase: only when the scenario grants whole-network residency AND
+    /// the instance's banks already hold this class's weights.
+    fn skips_reload(&self, instance: usize, class: usize) -> bool {
+        self.scenario.resident_weights && self.loaded[instance] == Some(class)
+    }
+
+    /// Service time of a batch of `n` on `instance`, accounting for the
+    /// weights it already holds.
+    fn service_seconds(&self, instance: usize, class: usize, n: u64) -> f64 {
+        let q = self.quotes.get(instance, class);
+        let reload = if self.skips_reload(instance, class) {
+            0.0
+        } else {
+            q.weight_load.as_secs_f64()
+        };
+        reload + q.per_frame.as_secs_f64() * n as f64
+    }
+
+    /// Energy of a batch of `n` on `instance` (reload-aware, like time).
+    fn service_energy_j(&self, instance: usize, class: usize, n: u64) -> f64 {
+        let q = self.quotes.get(instance, class);
+        let reload = if self.skips_reload(instance, class) {
+            0.0
+        } else {
+            q.weight_load_energy_j
+        };
+        reload + q.per_frame_energy_j * n as f64
+    }
+
+    /// The policy's (class, instance) choice for the next dispatch.
+    fn choose(&self) -> Option<(usize, usize)> {
+        let idle = || (0..self.busy.len()).filter(|&i| self.busy[i].is_none());
+        idle().next()?;
+        let fastest_for = |class: usize| {
+            let n = (self.queues.class_len(class) as u64).min(self.scenario.max_batch);
+            idle().min_by(|&a, &b| {
+                self.service_seconds(a, class, n)
+                    .total_cmp(&self.service_seconds(b, class, n))
+            })
+        };
+        match self.scenario.policy {
+            // FIFO / EDF pick the class first; placement is completion-
+            // earliest, which opportunistically reuses loaded weights.
+            Policy::Fifo | Policy::EarliestDeadlineFirst => {
+                let class = self.queues.select_class(self.scenario.policy)?;
+                Some((class, fastest_for(class)?))
+            }
+            // Network affinity targets the reprogramming cost directly:
+            // serve a class whose weights an idle instance already holds
+            // (the deepest such backlog); only reprogram when no queued
+            // class matches any idle instance. Without weight residency
+            // there is no reload to save, so the matched arm is skipped
+            // and the policy degenerates to its depth-first fallback.
+            Policy::NetworkAffinity => {
+                if self.scenario.resident_weights {
+                    let matched = idle()
+                        .filter_map(|i| {
+                            let class = self.loaded[i]?;
+                            (self.queues.class_len(class) > 0).then_some((class, i))
+                        })
+                        .max_by_key(|&(class, _)| self.queues.class_len(class));
+                    if let Some(choice) = matched {
+                        return Some(choice);
+                    }
+                }
+                let class = self.queues.select_class(self.scenario.policy)?;
+                Some((class, fastest_for(class)?))
+            }
+        }
+    }
+
+    /// Keeps dispatching while work is queued and instances are idle.
+    fn dispatch_idle(&mut self, now: f64) {
+        while !self.queues.is_empty() {
+            let Some((class, instance)) = self.choose() else {
+                break;
+            };
+            let requests = self.queues.pop_batch(class, self.scenario.max_batch);
+            let n = requests.len() as u64;
+            let service_s = self.service_seconds(instance, class, n);
+            let done = now + service_s;
+            self.energy_j += self.service_energy_j(instance, class, n);
+            self.busy_time_s[instance] += service_s;
+            self.batches += 1;
+            self.per_instance_batches[instance] += 1;
+            if !self.skips_reload(instance, class) {
+                self.weight_reloads += 1;
+            }
+            self.busy[instance] = Some(InFlight { class, requests });
+            self.loaded[instance] = Some(class);
+            self.completions.push(Reverse((EventTime(done), instance)));
+        }
+    }
+
+    fn report(self) -> FleetReport {
+        let makespan_s = self.last_event_s.max(f64::MIN_POSITIVE);
+        let mut all: Vec<f64> = self.latencies_per_class.iter().flatten().copied().collect();
+        let on_time: u64 = self.on_time_per_class.iter().sum();
+        let per_class = self
+            .scenario
+            .classes
+            .iter()
+            .zip(self.latencies_per_class)
+            .zip(self.on_time_per_class.iter())
+            .zip(self.admitted_per_class.iter())
+            .map(|(((class, mut lats), &on_time), &admitted)| {
+                let completed = lats.len() as u64;
+                ClassReport {
+                    name: class.name.clone(),
+                    admitted,
+                    completed,
+                    slo_attainment: if completed > 0 {
+                        on_time as f64 / completed as f64
+                    } else {
+                        0.0
+                    },
+                    latency: LatencySummary::from_samples(&mut lats),
+                }
+            })
+            .collect();
+        FleetReport {
+            offered: self.offered,
+            admitted: self.admitted,
+            rejected: self.rejected,
+            completed: self.completed,
+            batches: self.batches,
+            weight_reloads: self.weight_reloads,
+            mean_batch: if self.batches > 0 {
+                self.completed as f64 / self.batches as f64
+            } else {
+                0.0
+            },
+            makespan_s,
+            throughput_rps: self.completed as f64 / makespan_s,
+            utilization: self.busy_time_s.iter().sum::<f64>()
+                / (makespan_s * self.busy_time_s.len() as f64),
+            per_instance_batches: self.per_instance_batches,
+            slo_attainment: if self.completed > 0 {
+                on_time as f64 / self.completed as f64
+            } else {
+                0.0
+            },
+            energy_j: self.energy_j,
+            energy_per_request_j: if self.completed > 0 {
+                self.energy_j / self.completed as f64
+            } else {
+                0.0
+            },
+            latency: LatencySummary::from_samples(&mut all),
+            per_class,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_scenario() -> FleetScenario {
+        FleetScenario {
+            classes: vec![
+                NetworkClass::alexnet(0.050, 1.0),
+                NetworkClass::lenet5(0.010, 2.0),
+            ],
+            arrival: ArrivalProcess::Poisson { rate_rps: 3000.0 },
+            policy: Policy::Fifo,
+            instances: vec![PcnnaConfig::default(); 2],
+            horizon_s: 0.25,
+            seed: 9,
+            ..FleetScenario::default()
+        }
+    }
+
+    #[test]
+    fn every_admitted_request_completes() {
+        let r = small_scenario().simulate().unwrap();
+        assert!(r.offered > 0);
+        assert_eq!(r.offered, r.admitted + r.rejected);
+        assert_eq!(r.admitted, r.completed);
+    }
+
+    #[test]
+    fn report_is_internally_consistent() {
+        let r = small_scenario().simulate().unwrap();
+        assert!(r.throughput_rps > 0.0);
+        assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+        assert!(r.latency.p50_s <= r.latency.p99_s);
+        assert!(r.energy_per_request_j > 0.0);
+        let class_total: u64 = r.per_class.iter().map(|c| c.completed).sum();
+        assert_eq!(class_total, r.completed);
+        assert!((0.0..=1.0).contains(&r.slo_attainment));
+    }
+
+    #[test]
+    fn bounded_queue_rejects_under_overload() {
+        let r = FleetScenario {
+            arrival: ArrivalProcess::Poisson {
+                rate_rps: 100_000.0,
+            },
+            queue_capacity: 64,
+            horizon_s: 0.05,
+            ..small_scenario()
+        }
+        .simulate()
+        .unwrap();
+        assert!(r.rejected > 0, "overload should shed load");
+        assert_eq!(r.offered, r.admitted + r.rejected);
+        assert_eq!(r.admitted, r.completed);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_prefers_faster_instance() {
+        // One instance with 10 DACs, one with 40 (≈4× faster input path):
+        // completion-earliest placement must route more batches to the
+        // faster instance (index 1) whenever both are idle. A single class
+        // keeps weight residency symmetric, so only hardware speed decides
+        // (with mixed classes a slow-but-loaded instance can legitimately
+        // beat a fast one that would have to reprogram).
+        let fast = PcnnaConfig::default().with_input_dacs(40);
+        let r = FleetScenario {
+            classes: vec![NetworkClass::alexnet(0.050, 1.0)],
+            arrival: ArrivalProcess::Poisson { rate_rps: 3_000.0 },
+            instances: vec![PcnnaConfig::default(), fast],
+            horizon_s: 0.25,
+            seed: 9,
+            ..FleetScenario::default()
+        }
+        .simulate()
+        .unwrap();
+        assert_eq!(r.admitted, r.completed);
+        assert_eq!(r.per_instance_batches.len(), 2);
+        assert!(
+            r.per_instance_batches[1] > r.per_instance_batches[0],
+            "fast instance served {} batches vs slow {}",
+            r.per_instance_batches[1],
+            r.per_instance_batches[0]
+        );
+    }
+
+    #[test]
+    fn single_bank_mode_reloads_every_batch() {
+        // resident_weights = false is the paper-faithful single-bank
+        // reading: every batch pays the reprogramming phase, so reloads
+        // equal batches and residency can't be exploited.
+        let resident = small_scenario().simulate().unwrap();
+        let single_bank = FleetScenario {
+            resident_weights: false,
+            ..small_scenario()
+        }
+        .simulate()
+        .unwrap();
+        assert_eq!(single_bank.weight_reloads, single_bank.batches);
+        assert!(resident.weight_reloads < resident.batches);
+        // paying more reloads can't make the fleet faster
+        assert!(single_bank.latency.mean_s >= resident.latency.mean_s);
+    }
+
+    #[test]
+    fn all_policies_serve_everything() {
+        for policy in [
+            Policy::Fifo,
+            Policy::EarliestDeadlineFirst,
+            Policy::NetworkAffinity,
+        ] {
+            let r = FleetScenario {
+                policy,
+                ..small_scenario()
+            }
+            .simulate()
+            .unwrap();
+            assert_eq!(r.admitted, r.completed, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn all_arrival_processes_run() {
+        for arrival in [
+            ArrivalProcess::Poisson { rate_rps: 2000.0 },
+            ArrivalProcess::Mmpp {
+                low_rps: 200.0,
+                high_rps: 6000.0,
+                dwell_low_s: 0.05,
+                dwell_high_s: 0.02,
+            },
+            ArrivalProcess::Diurnal {
+                base_rps: 200.0,
+                peak_rps: 5000.0,
+                period_s: 0.2,
+            },
+        ] {
+            let r = FleetScenario {
+                arrival,
+                ..small_scenario()
+            }
+            .simulate()
+            .unwrap();
+            assert!(r.completed > 0, "{arrival:?}");
+            assert_eq!(r.admitted, r.completed, "{arrival:?}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_scenarios() {
+        let ok = small_scenario();
+        assert!(ok.validate().is_ok());
+        assert!(FleetScenario {
+            classes: vec![],
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(FleetScenario {
+            instances: vec![],
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(FleetScenario {
+            max_batch: 0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(FleetScenario {
+            horizon_s: 0.0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(FleetScenario {
+            queue_capacity: 0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        let empty_class = NetworkClass::new("empty", &[], 0.01, 1.0);
+        assert!(FleetScenario {
+            classes: vec![empty_class],
+            ..ok
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn affinity_reprograms_less_than_fifo_under_mixed_load() {
+        // More classes than instances with a standing backlog: FIFO must
+        // serve the oldest head even when no idle instance holds that
+        // network's weights (reprogramming almost every batch), while
+        // network affinity keeps instances on the network they already
+        // hold. Fewer reloads should also buy throughput, not cost it.
+        let base = FleetScenario {
+            classes: (0..4).map(|_| NetworkClass::alexnet(0.100, 1.0)).collect(),
+            arrival: ArrivalProcess::Poisson { rate_rps: 25_000.0 },
+            instances: vec![PcnnaConfig::default(); 2],
+            horizon_s: 0.25,
+            queue_capacity: 5_000,
+            seed: 13,
+            ..FleetScenario::default()
+        };
+        let fifo = FleetScenario {
+            policy: Policy::Fifo,
+            ..base.clone()
+        }
+        .simulate()
+        .unwrap();
+        let affinity = FleetScenario {
+            policy: Policy::NetworkAffinity,
+            ..base
+        }
+        .simulate()
+        .unwrap();
+        assert!(
+            affinity.weight_reloads < fifo.weight_reloads / 2,
+            "affinity reloads {} vs fifo {}",
+            affinity.weight_reloads,
+            fifo.weight_reloads
+        );
+        assert!(
+            affinity.throughput_rps >= 0.95 * fifo.throughput_rps,
+            "affinity thpt {:.0} vs fifo {:.0}",
+            affinity.throughput_rps,
+            fifo.throughput_rps
+        );
+    }
+}

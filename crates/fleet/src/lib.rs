@@ -1,0 +1,125 @@
+//! # pcnna-fleet — multi-accelerator serving & throughput simulation.
+//!
+//! The rest of the workspace models one PCNNA device from microring physics
+//! up to single-network latency. This crate adds the request level a
+//! production deployment is judged on: a **discrete-event simulation** of
+//! inference traffic arriving at a fleet of PCNNA instances, with batching,
+//! queueing, SLOs, and tail-latency / throughput / energy-per-request
+//! accounting — the serving figures of merit Eyeriss- and YodaNN-class
+//! systems publish.
+//!
+//! The pieces:
+//!
+//! * [`workload`] — arrival processes ([Poisson](workload::ArrivalProcess::Poisson),
+//!   bursty [MMPP](workload::ArrivalProcess::Mmpp), sinusoidal
+//!   [diurnal](workload::ArrivalProcess::Diurnal)) over a
+//!   [`TrafficMix`](workload::TrafficMix) of networks from `pcnna_cnn::zoo`,
+//!   each request tagged with its class's SLO deadline.
+//! * [`scheduler`] — batching admission policies: FIFO, earliest-deadline-
+//!   first, and network-affinity batching that amortizes the MRR
+//!   weight-reprogramming cost across same-network batches.
+//! * [`engine`] — the discrete-event fleet engine: N heterogeneous
+//!   [`PcnnaConfig`](pcnna_core::PcnnaConfig) instances, per-class queues
+//!   with bounded admission, greedy fastest-available placement.
+//! * [`metrics`] — p50/p95/p99/p999 latency, throughput, SLO attainment,
+//!   utilization, and energy-per-request built on the `pcnna-core` power
+//!   models.
+//! * [`par`] — thread-parallel replication across seeds / fleet shards
+//!   (an offline stand-in for rayon, which the build container cannot
+//!   fetch).
+//!
+//! The hot loop never re-runs the analytical model: every
+//! (instance, network) pair is collapsed once into a
+//! [`ServiceQuote`](pcnna_core::serving::ServiceQuote) — an affine
+//! (weight-load, per-frame) cost in both time and energy — so pricing a
+//! batch is two multiply-adds.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pcnna_fleet::prelude::*;
+//!
+//! let scenario = FleetScenario {
+//!     classes: vec![
+//!         NetworkClass::alexnet(0.050, 1.0),
+//!         NetworkClass::lenet5(0.010, 3.0),
+//!     ],
+//!     arrival: ArrivalProcess::Poisson { rate_rps: 2000.0 },
+//!     policy: Policy::NetworkAffinity,
+//!     instances: vec![pcnna_core::PcnnaConfig::default(); 4],
+//!     ..FleetScenario::default()
+//! };
+//! let report = scenario.simulate().unwrap();
+//! assert!(report.completed > 0);
+//! assert!(report.latency.p99_s >= report.latency.p50_s);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// `if !(x > 0.0)` in parameter validation is deliberate: unlike `x <= 0.0`
+// it also rejects NaN, which must never enter the simulation (same policy
+// as pcnna-core).
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod engine;
+pub mod metrics;
+pub mod par;
+pub mod scheduler;
+pub mod workload;
+
+pub use engine::FleetScenario;
+pub use metrics::{FleetReport, LatencySummary};
+pub use scheduler::Policy;
+pub use workload::{ArrivalProcess, NetworkClass, Request, TrafficMix};
+
+/// Errors produced by the fleet simulator.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// A scenario parameter is invalid.
+    InvalidScenario {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// An error bubbled up from the accelerator core while quoting a
+    /// (network, config) pair.
+    Core(pcnna_core::CoreError),
+}
+
+impl core::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FleetError::InvalidScenario { reason } => {
+                write!(f, "invalid fleet scenario: {reason}")
+            }
+            FleetError::Core(e) => write!(f, "core error while quoting: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Core(e) => Some(e),
+            FleetError::InvalidScenario { .. } => None,
+        }
+    }
+}
+
+impl From<pcnna_core::CoreError> for FleetError {
+    fn from(e: pcnna_core::CoreError) -> Self {
+        FleetError::Core(e)
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = core::result::Result<T, FleetError>;
+
+/// One-stop imports for scenario construction.
+pub mod prelude {
+    pub use crate::engine::FleetScenario;
+    pub use crate::metrics::{FleetReport, LatencySummary};
+    pub use crate::par;
+    pub use crate::scheduler::Policy;
+    pub use crate::workload::{ArrivalProcess, NetworkClass, TrafficMix};
+}

@@ -1,0 +1,111 @@
+//! Thread-parallel replication.
+//!
+//! The container building this workspace cannot fetch rayon, so this
+//! module provides the one parallel primitive the fleet needs — an ordered
+//! parallel map over `std::thread::scope` — and builds seed/shard
+//! replication on top of it. Swapping rayon in later is a local change
+//! (`par_map` ≈ `into_par_iter().map().collect()`).
+
+use crate::engine::FleetScenario;
+use crate::metrics::FleetReport;
+use crate::Result;
+
+/// Ordered parallel map: applies `f` to every item on a pool of
+/// `threads` OS threads (capped by the item count), preserving input
+/// order in the output.
+pub fn par_map<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    {
+        // Static round-robin sharding (no stealing): item i is owned by
+        // worker i % threads. Good enough for seed replication, where
+        // per-item cost is roughly uniform.
+        let mut shards: Vec<Vec<(T, &mut Option<U>)>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, (item, slot)) in items.into_iter().zip(slots.iter_mut()).enumerate() {
+            shards[i % threads].push((item, slot));
+        }
+        std::thread::scope(|scope| {
+            for shard in shards {
+                scope.spawn(|| {
+                    for (item, slot) in shard {
+                        *slot = Some(f(item));
+                    }
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Runs `scenario` once per seed, in parallel, returning the reports in
+/// seed order. Quotes are recomputed per replica (they are cheap relative
+/// to a simulation run and this keeps replicas fully independent).
+///
+/// # Errors
+///
+/// Returns the first replica failure (validation or quoting).
+pub fn simulate_replicated(scenario: &FleetScenario, seeds: &[u64]) -> Result<Vec<FleetReport>> {
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let runs: Vec<Result<FleetReport>> = par_map(seeds.to_vec(), threads, |seed| {
+        FleetScenario {
+            seed,
+            ..scenario.clone()
+        }
+        .simulate()
+    });
+    runs.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ArrivalProcess, NetworkClass};
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map((0..100).collect::<Vec<i64>>(), 8, |x| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_single_thread_fallback() {
+        let out = par_map(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn replicas_differ_by_seed_but_are_deterministic() {
+        let scenario = FleetScenario {
+            classes: vec![NetworkClass::lenet5(0.010, 1.0)],
+            arrival: ArrivalProcess::Poisson { rate_rps: 5000.0 },
+            horizon_s: 0.1,
+            ..FleetScenario::default()
+        };
+        let a = simulate_replicated(&scenario, &[1, 2, 3]).unwrap();
+        let b = simulate_replicated(&scenario, &[1, 2, 3]).unwrap();
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.offered, y.offered, "same seed must reproduce");
+            assert_eq!(x.latency, y.latency);
+        }
+        assert!(
+            a[0].offered != a[1].offered || a[0].latency != a[1].latency,
+            "different seeds should differ"
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Batching admission schedulers.
+//!
+//! PCNNA has one physical MRR weight bank, so a batch must share one
+//! network: its layer weights are programmed once per batch and every frame
+//! in the batch streams through them (the amortization
+//! `pcnna_core::execution::ExecutionModel::run_batched` prices). Requests
+//! therefore queue per class, and a policy's job is to pick **which class**
+//! an idle instance serves next; the batch is then up to `max_batch`
+//! requests popped from that class's queue in arrival order.
+
+use crate::workload::Request;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Which class an idle instance serves next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Policy {
+    /// Serve the class whose head request arrived first (global FIFO over
+    /// heads; batching still amortizes within the chosen class).
+    Fifo,
+    /// Serve the class whose head request has the earliest SLO deadline.
+    EarliestDeadlineFirst,
+    /// Amortize MRR weight reprogramming: prefer dispatching a class onto
+    /// an idle instance that already holds that class's weights (no reload
+    /// phase at all), falling back to the deepest queue when no idle
+    /// instance matches. Queue-depth selection below breaks ties toward
+    /// the oldest head request so no class starves forever under equal
+    /// load.
+    NetworkAffinity,
+}
+
+/// Per-class FIFO queues with O(1) admission and O(classes) selection.
+#[derive(Debug, Clone, Default)]
+pub struct ClassQueues {
+    queues: Vec<VecDeque<Request>>,
+    len: usize,
+}
+
+impl ClassQueues {
+    /// Empty queues for `classes` classes.
+    #[must_use]
+    pub fn new(classes: usize) -> Self {
+        ClassQueues {
+            queues: (0..classes).map(|_| VecDeque::new()).collect(),
+            len: 0,
+        }
+    }
+
+    /// Total queued requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queued requests of one class.
+    #[must_use]
+    pub fn class_len(&self, class: usize) -> usize {
+        self.queues[class].len()
+    }
+
+    /// Admits a request (requests arrive in time order, so per-class queues
+    /// stay sorted by arrival — and, as each class has one fixed SLO, by
+    /// deadline too).
+    pub fn push(&mut self, req: Request) {
+        self.queues[req.class].push_back(req);
+        self.len += 1;
+    }
+
+    /// The policy's choice of class for the next batch, if any.
+    #[must_use]
+    pub fn select_class(&self, policy: Policy) -> Option<usize> {
+        let heads = self
+            .queues
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| q.front().map(|r| (i, r)));
+        match policy {
+            Policy::Fifo => heads
+                .min_by(|(_, a), (_, b)| a.arrival_s.total_cmp(&b.arrival_s))
+                .map(|(i, _)| i),
+            Policy::EarliestDeadlineFirst => heads
+                .min_by(|(_, a), (_, b)| a.deadline_s.total_cmp(&b.deadline_s))
+                .map(|(i, _)| i),
+            Policy::NetworkAffinity => heads
+                .max_by(|(ia, a), (ib, b)| {
+                    let depth = self.queues[*ia].len().cmp(&self.queues[*ib].len());
+                    // prefer deeper queues; among equals, the older head
+                    depth.then(b.arrival_s.total_cmp(&a.arrival_s))
+                })
+                .map(|(i, _)| i),
+        }
+    }
+
+    /// Pops up to `max_batch` requests of `class`, in arrival order.
+    pub fn pop_batch(&mut self, class: usize, max_batch: u64) -> Vec<Request> {
+        let take = (max_batch as usize).min(self.queues[class].len());
+        self.len -= take;
+        self.queues[class].drain(..take).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, class: usize, arrival: f64, slo: f64) -> Request {
+        Request {
+            id,
+            class,
+            arrival_s: arrival,
+            deadline_s: arrival + slo,
+        }
+    }
+
+    fn queues() -> ClassQueues {
+        let mut q = ClassQueues::new(2);
+        // class 0: tight SLO, arrives later; class 1: loose SLO, arrives
+        // first and is deeper.
+        q.push(req(0, 1, 0.0, 1.0));
+        q.push(req(1, 1, 0.1, 1.0));
+        q.push(req(2, 1, 0.2, 1.0));
+        q.push(req(3, 0, 0.3, 0.05));
+        q
+    }
+
+    #[test]
+    fn fifo_picks_oldest_head() {
+        assert_eq!(queues().select_class(Policy::Fifo), Some(1));
+    }
+
+    #[test]
+    fn edf_picks_tightest_deadline() {
+        // class 0's head deadline is 0.35 vs class 1's 1.0.
+        assert_eq!(
+            queues().select_class(Policy::EarliestDeadlineFirst),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn affinity_picks_deepest_queue() {
+        assert_eq!(queues().select_class(Policy::NetworkAffinity), Some(1));
+    }
+
+    #[test]
+    fn affinity_tie_breaks_to_older_head() {
+        let mut q = ClassQueues::new(2);
+        q.push(req(0, 1, 0.0, 1.0));
+        q.push(req(1, 0, 0.5, 1.0));
+        assert_eq!(q.select_class(Policy::NetworkAffinity), Some(1));
+    }
+
+    #[test]
+    fn pop_batch_respects_cap_and_order() {
+        let mut q = queues();
+        let batch = q.pop_batch(1, 2);
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.class_len(1), 1);
+    }
+
+    #[test]
+    fn empty_queues_select_none() {
+        let q = ClassQueues::new(3);
+        for p in [
+            Policy::Fifo,
+            Policy::EarliestDeadlineFirst,
+            Policy::NetworkAffinity,
+        ] {
+            assert_eq!(q.select_class(p), None);
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! Request workloads: network classes, traffic mixes, arrival processes.
+//!
+//! A [`NetworkClass`] pairs a conv-layer stack from the model zoo with a
+//! latency SLO and a traffic weight. An [`ArrivalProcess`] generates the
+//! request arrival times; all three processes are sampled by thinning
+//! against their peak rate, which keeps one code path exact for the
+//! homogeneous (Poisson), Markov-modulated (MMPP), and time-varying
+//! (diurnal) cases.
+
+use pcnna_cnn::geometry::ConvGeometry;
+use pcnna_cnn::network::Network;
+use pcnna_cnn::zoo;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A served network: its conv stack, SLO, and share of the traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkClass {
+    /// Class name (used in per-class reporting).
+    pub name: String,
+    /// The conv-layer stack PCNNA executes for one request.
+    pub layers: Vec<(String, ConvGeometry)>,
+    /// Latency SLO, seconds from arrival to completion.
+    pub slo_s: f64,
+    /// Relative traffic weight within the mix (need not be normalized).
+    pub weight: f64,
+}
+
+impl NetworkClass {
+    /// Builds a class from borrowed layer names (zoo format).
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        layers: &[(&str, ConvGeometry)],
+        slo_s: f64,
+        weight: f64,
+    ) -> Self {
+        NetworkClass {
+            name: name.into(),
+            layers: layers.iter().map(|(n, g)| ((*n).to_owned(), *g)).collect(),
+            slo_s,
+            weight,
+        }
+    }
+
+    /// Builds a class from a zoo [`Network`]'s conv layers.
+    #[must_use]
+    pub fn from_network(net: &Network, slo_s: f64, weight: f64) -> Self {
+        NetworkClass {
+            name: net.name().to_owned(),
+            layers: net
+                .conv_layers()
+                .map(|c| (c.name.clone(), c.geometry))
+                .collect(),
+            slo_s,
+            weight,
+        }
+    }
+
+    /// The paper's AlexNet conv stack.
+    #[must_use]
+    pub fn alexnet(slo_s: f64, weight: f64) -> Self {
+        NetworkClass::new("alexnet", &zoo::alexnet_conv_layers(), slo_s, weight)
+    }
+
+    /// LeNet-5's conv stack (light requests).
+    #[must_use]
+    pub fn lenet5(slo_s: f64, weight: f64) -> Self {
+        NetworkClass::from_network(&zoo::lenet5(), slo_s, weight)
+    }
+
+    /// VGG-16's conv stack (heavy requests).
+    #[must_use]
+    pub fn vgg16(slo_s: f64, weight: f64) -> Self {
+        NetworkClass::new("vgg16", &zoo::vgg16_conv_layers(), slo_s, weight)
+    }
+
+    /// Layers in the borrowed form `pcnna_core::serving::quote` expects.
+    #[must_use]
+    pub fn layer_refs(&self) -> Vec<(&str, ConvGeometry)> {
+        self.layers.iter().map(|(n, g)| (n.as_str(), *g)).collect()
+    }
+}
+
+/// A weighted set of [`NetworkClass`]es. The weight total is computed
+/// once at construction ([`sample_class`](TrafficMix::sample_class) runs
+/// once per simulated request).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMix {
+    classes: Vec<NetworkClass>,
+    total_weight: f64,
+}
+
+impl TrafficMix {
+    /// Builds a mix.
+    #[must_use]
+    pub fn new(classes: Vec<NetworkClass>) -> Self {
+        let total_weight = classes.iter().map(|c| c.weight).sum();
+        TrafficMix {
+            classes,
+            total_weight,
+        }
+    }
+
+    /// The classes in the mix.
+    #[must_use]
+    pub fn classes(&self) -> &[NetworkClass] {
+        &self.classes
+    }
+
+    /// Draws a class index proportional to the weights.
+    pub fn sample_class(&self, rng: &mut StdRng) -> usize {
+        let mut x = rng.gen_range(0.0..self.total_weight.max(f64::MIN_POSITIVE));
+        for (i, c) in self.classes.iter().enumerate() {
+            x -= c.weight;
+            if x <= 0.0 {
+                return i;
+            }
+        }
+        self.classes.len() - 1
+    }
+}
+
+/// One inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Monotone sequence number.
+    pub id: u64,
+    /// Index into the scenario's class list.
+    pub class: usize,
+    /// Arrival time, seconds.
+    pub arrival_s: f64,
+    /// SLO deadline, seconds (arrival + class SLO).
+    pub deadline_s: f64,
+}
+
+/// The request arrival process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson arrivals.
+    Poisson {
+        /// Mean rate, requests/second.
+        rate_rps: f64,
+    },
+    /// Two-state Markov-modulated Poisson process (bursty traffic): the
+    /// rate alternates between `low_rps` and `high_rps` with exponentially
+    /// distributed dwell times.
+    Mmpp {
+        /// Rate in the quiet state, requests/second.
+        low_rps: f64,
+        /// Rate in the burst state, requests/second.
+        high_rps: f64,
+        /// Mean dwell in the quiet state, seconds.
+        dwell_low_s: f64,
+        /// Mean dwell in the burst state, seconds.
+        dwell_high_s: f64,
+    },
+    /// Sinusoidal diurnal cycle: rate(t) ramps `base_rps → peak_rps → base`
+    /// over each `period_s` (a compressed day).
+    Diurnal {
+        /// Trough rate, requests/second.
+        base_rps: f64,
+        /// Peak rate, requests/second.
+        peak_rps: f64,
+        /// Cycle length, seconds.
+        period_s: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The long-run mean rate, requests/second.
+    #[must_use]
+    pub fn mean_rate_rps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_rps } => rate_rps,
+            ArrivalProcess::Mmpp {
+                low_rps,
+                high_rps,
+                dwell_low_s,
+                dwell_high_s,
+            } => {
+                let total = dwell_low_s + dwell_high_s;
+                if total > 0.0 {
+                    (low_rps * dwell_low_s + high_rps * dwell_high_s) / total
+                } else {
+                    0.5 * (low_rps + high_rps)
+                }
+            }
+            ArrivalProcess::Diurnal {
+                base_rps, peak_rps, ..
+            } => 0.5 * (base_rps + peak_rps),
+        }
+    }
+
+    /// The peak instantaneous rate (the thinning envelope).
+    #[must_use]
+    pub fn peak_rate_rps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_rps } => rate_rps,
+            ArrivalProcess::Mmpp {
+                low_rps, high_rps, ..
+            } => low_rps.max(high_rps),
+            ArrivalProcess::Diurnal {
+                base_rps, peak_rps, ..
+            } => base_rps.max(peak_rps),
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a reason string for non-positive or non-finite rates.
+    pub fn validate(&self) -> core::result::Result<(), String> {
+        let check = |label: &str, v: f64| {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("{label} must be finite and positive, got {v}"))
+            }
+        };
+        match *self {
+            ArrivalProcess::Poisson { rate_rps } => check("rate_rps", rate_rps),
+            ArrivalProcess::Mmpp {
+                low_rps,
+                high_rps,
+                dwell_low_s,
+                dwell_high_s,
+            } => {
+                check("low_rps", low_rps)?;
+                check("high_rps", high_rps)?;
+                check("dwell_low_s", dwell_low_s)?;
+                check("dwell_high_s", dwell_high_s)
+            }
+            ArrivalProcess::Diurnal {
+                base_rps,
+                peak_rps,
+                period_s,
+            } => {
+                check("base_rps", base_rps)?;
+                check("peak_rps", peak_rps)?;
+                check("period_s", period_s)
+            }
+        }
+    }
+}
+
+/// Streaming arrival-time sampler (Lewis–Shedler thinning against the
+/// process's peak rate; exact for all three process shapes).
+#[derive(Debug, Clone)]
+pub struct ArrivalSampler {
+    process: ArrivalProcess,
+    rng: StdRng,
+    t: f64,
+    // MMPP modulation state.
+    in_high_state: bool,
+    next_switch_s: f64,
+}
+
+impl ArrivalSampler {
+    /// Starts a sampler at t = 0.
+    #[must_use]
+    pub fn new(process: ArrivalProcess, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF1EE_7A61C);
+        let (in_high_state, next_switch_s) = match process {
+            ArrivalProcess::Mmpp { dwell_low_s, .. } => {
+                (false, exp_sample(&mut rng, 1.0 / dwell_low_s))
+            }
+            _ => (false, f64::INFINITY),
+        };
+        ArrivalSampler {
+            process,
+            rng,
+            t: 0.0,
+            in_high_state,
+            next_switch_s,
+        }
+    }
+
+    /// Instantaneous rate at time `t`, advancing modulation state to `t`.
+    fn rate_at(&mut self, t: f64) -> f64 {
+        match self.process {
+            ArrivalProcess::Poisson { rate_rps } => rate_rps,
+            ArrivalProcess::Mmpp {
+                low_rps,
+                high_rps,
+                dwell_low_s,
+                dwell_high_s,
+            } => {
+                while t >= self.next_switch_s {
+                    self.in_high_state = !self.in_high_state;
+                    let mean_dwell = if self.in_high_state {
+                        dwell_high_s
+                    } else {
+                        dwell_low_s
+                    };
+                    self.next_switch_s += exp_sample(&mut self.rng, 1.0 / mean_dwell);
+                }
+                if self.in_high_state {
+                    high_rps
+                } else {
+                    low_rps
+                }
+            }
+            ArrivalProcess::Diurnal {
+                base_rps,
+                peak_rps,
+                period_s,
+            } => {
+                let phase = (t / period_s) * core::f64::consts::TAU;
+                base_rps + (peak_rps - base_rps) * 0.5 * (1.0 - phase.cos())
+            }
+        }
+    }
+
+    /// The next arrival time, seconds (monotone increasing).
+    pub fn next_arrival_s(&mut self) -> f64 {
+        let peak = self.process.peak_rate_rps();
+        loop {
+            self.t += exp_sample(&mut self.rng, peak);
+            let accept = self.rate_at(self.t) / peak;
+            if accept >= 1.0 || self.rng.gen_range(0.0..1.0) < accept {
+                return self.t;
+            }
+        }
+    }
+}
+
+/// Exponential sample with the given rate.
+fn exp_sample(rng: &mut StdRng, rate: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_arrivals(p: ArrivalProcess, horizon: f64, seed: u64) -> usize {
+        let mut s = ArrivalSampler::new(p, seed);
+        let mut n = 0;
+        while s.next_arrival_s() < horizon {
+            n += 1;
+        }
+        n
+    }
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let n = count_arrivals(ArrivalProcess::Poisson { rate_rps: 1000.0 }, 10.0, 7);
+        // 10k expected, sd = 100 — accept ±5 sd.
+        assert!((9_500..10_500).contains(&n), "{n}");
+    }
+
+    #[test]
+    fn mmpp_mean_rate_is_between_states() {
+        let p = ArrivalProcess::Mmpp {
+            low_rps: 100.0,
+            high_rps: 2000.0,
+            dwell_low_s: 0.5,
+            dwell_high_s: 0.5,
+        };
+        let n = count_arrivals(p, 50.0, 11) as f64 / 50.0;
+        assert!(n > 150.0 && n < 2000.0, "measured rate {n}");
+        assert!((p.mean_rate_rps() - 1050.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        // Windowed counts: the MMPP's variance-to-mean ratio should exceed
+        // a rate-matched Poisson's.
+        let horizon = 100.0;
+        let window = 0.25;
+        let vmr = |p: ArrivalProcess, seed| {
+            let mut s = ArrivalSampler::new(p, seed);
+            let mut counts = vec![0f64; (horizon / window) as usize];
+            loop {
+                let t = s.next_arrival_s();
+                if t >= horizon {
+                    break;
+                }
+                counts[(t / window) as usize] += 1.0;
+            }
+            let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+            let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / counts.len() as f64;
+            var / mean
+        };
+        let mmpp = vmr(
+            ArrivalProcess::Mmpp {
+                low_rps: 50.0,
+                high_rps: 1500.0,
+                dwell_low_s: 1.0,
+                dwell_high_s: 1.0,
+            },
+            3,
+        );
+        let poisson = vmr(ArrivalProcess::Poisson { rate_rps: 775.0 }, 3);
+        assert!(
+            mmpp > 2.0 * poisson,
+            "MMPP VMR {mmpp:.2} vs Poisson {poisson:.2}"
+        );
+    }
+
+    #[test]
+    fn diurnal_peak_window_beats_trough_window() {
+        let p = ArrivalProcess::Diurnal {
+            base_rps: 100.0,
+            peak_rps: 2000.0,
+            period_s: 10.0,
+        };
+        let mut s = ArrivalSampler::new(p, 5);
+        let (mut trough, mut peak) = (0u64, 0u64);
+        loop {
+            let t = s.next_arrival_s();
+            if t >= 10.0 {
+                break;
+            }
+            // rate(t) peaks at t = period/2 and troughs at t = 0 / period.
+            if (4.0..6.0).contains(&t) {
+                peak += 1;
+            } else if !(1.0..=9.0).contains(&t) {
+                trough += 1;
+            }
+        }
+        assert!(peak > 4 * trough.max(1), "peak {peak} trough {trough}");
+    }
+
+    #[test]
+    fn mix_sampling_follows_weights() {
+        let mix = TrafficMix::new(vec![
+            NetworkClass::lenet5(0.01, 3.0),
+            NetworkClass::alexnet(0.05, 1.0),
+        ]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 40_000;
+        let lenet = (0..n).filter(|_| mix.sample_class(&mut rng) == 0).count();
+        let share = lenet as f64 / n as f64;
+        assert!((share - 0.75).abs() < 0.02, "share {share}");
+    }
+
+    #[test]
+    fn class_constructors_carry_zoo_layers() {
+        assert_eq!(NetworkClass::alexnet(0.05, 1.0).layers.len(), 5);
+        assert_eq!(NetworkClass::lenet5(0.01, 1.0).layers.len(), 3);
+        assert_eq!(NetworkClass::vgg16(0.1, 1.0).layers.len(), 13);
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates() {
+        assert!(ArrivalProcess::Poisson { rate_rps: 0.0 }
+            .validate()
+            .is_err());
+        assert!(ArrivalProcess::Poisson { rate_rps: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(ArrivalProcess::Poisson { rate_rps: 10.0 }
+            .validate()
+            .is_ok());
+    }
+}

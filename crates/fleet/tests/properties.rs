@@ -1,0 +1,129 @@
+//! Property-based invariants of the fleet simulator.
+
+use proptest::prelude::*;
+
+use pcnna_core::PcnnaConfig;
+use pcnna_fleet::prelude::*;
+
+/// A small scenario space: LeNet-class requests (cheap to quote and serve)
+/// over varying load, fleet size, batch bound, policy, and seed.
+fn scenarios() -> impl Strategy<Value = FleetScenario> {
+    (
+        200.0f64..20_000.0, // arrival rate
+        1usize..5,          // instances
+        1u64..48,           // max_batch
+        0usize..3,          // policy index
+        0u64..1_000,        // seed
+        16usize..2_000,     // queue capacity
+    )
+        .prop_map(
+            |(rate, n_inst, max_batch, policy, seed, cap)| FleetScenario {
+                classes: vec![
+                    NetworkClass::lenet5(0.005, 2.0),
+                    NetworkClass::alexnet(0.050, 1.0),
+                ],
+                arrival: ArrivalProcess::Poisson { rate_rps: rate },
+                policy: [
+                    Policy::Fifo,
+                    Policy::EarliestDeadlineFirst,
+                    Policy::NetworkAffinity,
+                ][policy],
+                instances: vec![PcnnaConfig::default(); n_inst],
+                max_batch,
+                queue_capacity: cap,
+                horizon_s: 0.02,
+                seed,
+                ..FleetScenario::default()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn requests_are_conserved(s in scenarios()) {
+        let r = s.simulate().unwrap();
+        // Nothing is created or lost: every offered request is either
+        // rejected at admission or served to completion (the engine
+        // drains the queue after arrivals stop).
+        prop_assert_eq!(r.offered, r.admitted + r.rejected);
+        prop_assert_eq!(r.admitted, r.completed);
+        let per_class: u64 = r.per_class.iter().map(|c| c.completed).sum();
+        prop_assert_eq!(per_class, r.completed);
+        let admitted_per_class: u64 = r.per_class.iter().map(|c| c.admitted).sum();
+        prop_assert_eq!(admitted_per_class, r.admitted);
+    }
+
+    #[test]
+    fn latency_is_bounded_below_by_service_time(s in scenarios()) {
+        let quotes = s.quote_table().unwrap();
+        let r = s.simulate().unwrap();
+        if r.completed == 0 { return Ok(()); }
+        // No request can complete faster than one frame's marginal service
+        // time on the fastest instance for the cheapest class.
+        let floor = (0..s.instances.len())
+            .flat_map(|i| (0..s.classes.len()).map(move |c| (i, c)))
+            .map(|(i, c)| quotes.get(i, c).per_frame.as_secs_f64())
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(floor > 0.0);
+        // 1 ulp of slack: latency is (arrival + service) − arrival in f64.
+        prop_assert!(
+            r.latency.min_s >= floor * (1.0 - 1e-9),
+            "min latency {} < service floor {}", r.latency.min_s, floor
+        );
+    }
+
+    #[test]
+    fn report_statistics_are_sane(s in scenarios()) {
+        let r = s.simulate().unwrap();
+        if r.completed == 0 { return Ok(()); }
+        prop_assert!(r.latency.min_s <= r.latency.p50_s);
+        prop_assert!(r.latency.p50_s <= r.latency.p95_s);
+        prop_assert!(r.latency.p95_s <= r.latency.p99_s);
+        prop_assert!(r.latency.p99_s <= r.latency.p999_s);
+        prop_assert!(r.latency.p999_s <= r.latency.max_s);
+        prop_assert!((0.0..=1.0).contains(&r.slo_attainment));
+        prop_assert!(r.utilization > 0.0 && r.utilization <= 1.0 + 1e-9);
+        prop_assert!(r.energy_per_request_j > 0.0);
+        prop_assert!(r.weight_reloads <= r.batches);
+        prop_assert!(r.mean_batch >= 1.0 - 1e-12);
+        prop_assert!(r.mean_batch <= s.max_batch as f64 + 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batching_never_worsens_fifo_throughput_on_uniform_traffic(
+        rate in 500.0f64..8_000.0,
+        batch in 2u64..64,
+        seed in 0u64..500,
+    ) {
+        // Uniform workload (one class), FIFO, same arrivals: allowing
+        // batches must not reduce throughput relative to batch-size-1.
+        let base = FleetScenario {
+            classes: vec![NetworkClass::lenet5(0.010, 1.0)],
+            arrival: ArrivalProcess::Poisson { rate_rps: rate },
+            policy: Policy::Fifo,
+            instances: vec![PcnnaConfig::default(); 2],
+            queue_capacity: usize::MAX,
+            horizon_s: 0.02,
+            seed,
+            ..FleetScenario::default()
+        };
+        let unbatched = FleetScenario { max_batch: 1, ..base.clone() }.simulate().unwrap();
+        let batched = FleetScenario { max_batch: batch, ..base }.simulate().unwrap();
+        // identical arrivals, both drain fully
+        prop_assert_eq!(unbatched.completed, batched.completed);
+        prop_assert!(
+            batched.throughput_rps >= unbatched.throughput_rps * (1.0 - 1e-9),
+            "batch {} throughput {} < batch-1 throughput {}",
+            batch, batched.throughput_rps, unbatched.throughput_rps
+        );
+        // and batching can only help tail latency or leave it unchanged
+        // under saturation — but never break conservation
+        prop_assert_eq!(batched.offered, unbatched.offered);
+    }
+}

@@ -275,10 +275,7 @@ impl BroadcastWeightLink {
                 let (drops, thrus) = bank.propagate(&powers)?;
                 let plus: f64 = drops.iter().sum();
                 let minus: f64 = thrus.iter().sum();
-                let current = self
-                    .config
-                    .receiver
-                    .differential_current_a(plus, minus);
+                let current = self.config.receiver.differential_current_a(plus, minus);
                 Ok(current / norm)
             })
             .collect()
@@ -317,9 +314,8 @@ impl BroadcastWeightLink {
     #[must_use]
     pub fn full_scale_snr(&self) -> f64 {
         let signal = self.normalization_a();
-        let full_power = self.config.laser.power_w
-            * self.config.mzm.insertion
-            * self.path_transmission;
+        let full_power =
+            self.config.laser.power_w * self.config.mzm.insertion * self.path_transmission;
         let bw = self.config.detection_bandwidth_hz;
         let noise_var = self.config.receiver.noise_variance(full_power, 0.0, bw)
             + self.config.receiver.diode.responsivity_a_w.powi(2)
@@ -422,7 +418,9 @@ impl CompiledLink {
         }
         let powers: Vec<f64> = inputs
             .iter()
-            .map(|&x| self.config.laser.power_w * self.config.mzm.modulate(x) * self.path_transmission)
+            .map(|&x| {
+                self.config.laser.power_w * self.config.mzm.modulate(x) * self.path_transmission
+            })
             .collect();
         let norm = self.normalization_a();
         Ok(self

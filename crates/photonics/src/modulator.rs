@@ -71,7 +71,9 @@ impl Mzm {
     /// `insertion · sin²(π v / (2 Vπ))`, floored by the extinction ratio.
     #[must_use]
     pub fn transmission(&self, v: f64) -> f64 {
-        let t = (core::f64::consts::PI * v / (2.0 * self.v_pi)).sin().powi(2);
+        let t = (core::f64::consts::PI * v / (2.0 * self.v_pi))
+            .sin()
+            .powi(2);
         let floor = 10f64.powf(-self.extinction_db / 10.0);
         self.insertion * t.max(floor)
     }

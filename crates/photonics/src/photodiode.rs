@@ -48,7 +48,10 @@ impl Photodiode {
     pub fn validate(&self) -> Result<()> {
         if !(self.responsivity_a_w > 0.0) {
             return Err(PhotonicError::InvalidParameter {
-                reason: format!("responsivity must be positive, got {}", self.responsivity_a_w),
+                reason: format!(
+                    "responsivity must be positive, got {}",
+                    self.responsivity_a_w
+                ),
             });
         }
         if !(self.load_ohms > 0.0) {
@@ -223,7 +226,9 @@ mod tests {
     #[test]
     fn balanced_noise_exceeds_single_diode_noise() {
         let bp = BalancedPair::default();
-        let single = bp.diode.shot_noise_variance(bp.diode.photocurrent_a(1e-3), 5e9)
+        let single = bp
+            .diode
+            .shot_noise_variance(bp.diode.photocurrent_a(1e-3), 5e9)
             + bp.diode.thermal_noise_variance(5e9);
         let pair = bp.noise_variance(1e-3, 1e-3, 5e9);
         assert!(pair > single);

@@ -139,7 +139,11 @@ mod tests {
                         .total_cmp(&(b.wavelength_m - c).abs())
                 })
                 .unwrap();
-            assert!(nearest.through > 0.9, "carrier {c} through {}", nearest.through);
+            assert!(
+                nearest.through > 0.9,
+                "carrier {c} through {}",
+                nearest.through
+            );
         }
     }
 }

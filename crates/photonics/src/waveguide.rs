@@ -52,9 +52,7 @@ impl WaveguideModel {
     ///
     /// Returns [`PhotonicError::InvalidParameter`] for negative losses.
     pub fn validate(&self) -> Result<()> {
-        if self.loss_db_per_cm < 0.0
-            || self.splitter_excess_db < 0.0
-            || self.coupler_loss_db < 0.0
+        if self.loss_db_per_cm < 0.0 || self.splitter_excess_db < 0.0 || self.coupler_loss_db < 0.0
         {
             return Err(PhotonicError::InvalidParameter {
                 reason: "losses must be non-negative dB".to_owned(),

@@ -116,7 +116,10 @@ impl WdmGrid {
     #[must_use]
     pub fn wavelengths_m(&self) -> Vec<f64> {
         (0..self.channels)
-            .map(|i| self.wavelength_m(i).expect("index in range by construction"))
+            .map(|i| {
+                self.wavelength_m(i)
+                    .expect("index in range by construction")
+            })
             .collect()
     }
 

@@ -132,11 +132,7 @@ impl MrrWeightBank {
         let (drops, thrus) = self
             .propagate(&unit)
             .expect("unit vector length matches by construction");
-        drops
-            .iter()
-            .zip(&thrus)
-            .map(|(&d, &t)| d - t)
-            .collect()
+        drops.iter().zip(&thrus).map(|(&d, &t)| d - t).collect()
     }
 
     /// Naively sets each ring to its target weight, ignoring crosstalk.

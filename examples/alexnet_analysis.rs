@@ -17,10 +17,7 @@ fn main() {
     let accel = Pcnna::new(PcnnaConfig::default()).expect("valid default config");
 
     println!("== Figure 5: microrings per AlexNet conv layer ==");
-    print!(
-        "{}",
-        render_fig5(&figure5(&layers, &AreaModel::default()))
-    );
+    print!("{}", render_fig5(&figure5(&layers, &AreaModel::default())));
     println!();
 
     println!("== Figure 6: execution time (PCNNA analytical) ==");

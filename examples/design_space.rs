@@ -15,8 +15,7 @@ fn main() {
     println!("== NDAC sweep (conv4, DAC-only model) ==");
     println!("{:<8} {:>14} {:>18}", "NDAC", "full-system", "vs optical");
     for n in [1usize, 2, 4, 8, 10, 16, 32, 64, 128] {
-        let accel =
-            Pcnna::new(PcnnaConfig::default().with_input_dacs(n)).expect("valid config");
+        let accel = Pcnna::new(PcnnaConfig::default().with_input_dacs(n)).expect("valid config");
         let row = &accel
             .analyze_conv_layers(&[("conv4", conv4)])
             .expect("conv4 fits")
@@ -42,17 +41,19 @@ fn main() {
             .analyze_conv_layers(&[("conv4", conv4)])
             .expect("conv4 fits")
             .layers[0];
-        println!("{:<10} {:>14}", format!("{ghz} GHz"), row.optical_time.to_string());
+        println!(
+            "{:<10} {:>14}",
+            format!("{ghz} GHz"),
+            row.optical_time.to_string()
+        );
     }
     println!();
 
     println!("== bottleneck model comparison (all AlexNet layers) ==");
     let layers = zoo::alexnet_conv_layers();
     let paper = Pcnna::new(PcnnaConfig::default()).expect("valid config");
-    let fuller = Pcnna::new(
-        PcnnaConfig::default().with_bottleneck(BottleneckModel::MaxOfStages),
-    )
-    .expect("valid config");
+    let fuller = Pcnna::new(PcnnaConfig::default().with_bottleneck(BottleneckModel::MaxOfStages))
+        .expect("valid config");
     let a = paper.analyze_conv_layers(&layers).expect("fits");
     let b = fuller.analyze_conv_layers(&layers).expect("fits");
     println!(
@@ -78,7 +79,12 @@ fn main() {
             .analyze_conv_layers(&[("conv4s", g)])
             .expect("fits")
             .layers[0];
-        println!("{:<8} {:>10} {:>14}", s, row.locations, row.full_system_time.to_string());
+        println!(
+            "{:<8} {:>10} {:>14}",
+            s,
+            row.locations,
+            row.full_system_time.to_string()
+        );
     }
     println!();
 
@@ -88,8 +94,7 @@ fn main() {
         ("row-major", ScanOrder::RowMajor),
         ("serpentine", ScanOrder::Serpentine),
     ] {
-        let accel =
-            Pcnna::new(PcnnaConfig::default().with_scan(scan)).expect("valid config");
+        let accel = Pcnna::new(PcnnaConfig::default().with_scan(scan)).expect("valid config");
         let r = &accel
             .simulate_conv_layers(&[("conv2", conv2)])
             .expect("fits")[0];

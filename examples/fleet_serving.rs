@@ -1,0 +1,58 @@
+//! Fleet serving demo: AlexNet + LeNet mixed traffic on a 4-instance PCNNA
+//! fleet, printing a latency-percentile / SLO table per scheduling policy.
+//!
+//! Run with `cargo run --release --example fleet_serving`.
+
+use pcnna::core::PcnnaConfig;
+use pcnna::fleet::prelude::*;
+
+fn main() {
+    // 3:1 LeNet:AlexNet mixed traffic. LeNet requests are interactive
+    // (500 µs SLO); AlexNet requests get 4 ms.
+    let classes = vec![
+        NetworkClass::alexnet(0.004, 1.0),
+        NetworkClass::lenet5(0.0005, 3.0),
+    ];
+    // A heterogeneous 4-instance fleet: two paper design points and two
+    // wider-front-end variants (20 input DACs).
+    let instances = vec![
+        PcnnaConfig::default(),
+        PcnnaConfig::default(),
+        PcnnaConfig::default().with_input_dacs(20),
+        PcnnaConfig::default().with_input_dacs(20),
+    ];
+    // Bursty traffic: 10k req/s background with 90k req/s spikes.
+    let arrival = ArrivalProcess::Mmpp {
+        low_rps: 10_000.0,
+        high_rps: 90_000.0,
+        dwell_low_s: 0.2,
+        dwell_high_s: 0.1,
+    };
+
+    println!("PCNNA fleet: 4 instances, AlexNet + 3x LeNet, bursty (MMPP) traffic");
+    println!();
+
+    for (label, policy) in [
+        ("FIFO", Policy::Fifo),
+        ("earliest-deadline-first", Policy::EarliestDeadlineFirst),
+        ("network-affinity", Policy::NetworkAffinity),
+    ] {
+        let report = FleetScenario {
+            classes: classes.clone(),
+            arrival,
+            policy,
+            instances: instances.clone(),
+            max_batch: 32,
+            queue_capacity: 50_000,
+            horizon_s: 2.0,
+            seed: 7,
+            ..FleetScenario::default()
+        }
+        .simulate()
+        .expect("scenario is valid");
+
+        println!("=== policy: {label}");
+        print!("{}", report.render());
+        println!();
+    }
+}

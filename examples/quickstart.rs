@@ -28,7 +28,10 @@ fn main() {
         layer.rings_unfiltered as f64 / layer.rings_filtered as f64
     );
     println!();
-    println!("execution time for the layer ({} kernel locations):", layer.locations);
+    println!(
+        "execution time for the layer ({} kernel locations):",
+        layer.locations
+    );
     println!("  optical core, PCNNA(O)  : {:>14}", layer.optical_time);
     println!("  full system, PCNNA(O+E) : {:>14}", layer.full_system_time);
     println!("  bound by                : {:>14}", layer.bottleneck);

@@ -17,7 +17,10 @@ fn main() {
     let final_loss = net.train(&train_set, 15, 0.05).expect("training runs");
     let reference_acc = net.accuracy(&test_set).expect("eval runs");
     println!("trained tiny conv-net: final epoch loss {final_loss:.4}");
-    println!("reference (digital) test accuracy: {:.1}%", 100.0 * reference_acc);
+    println!(
+        "reference (digital) test accuracy: {:.1}%",
+        100.0 * reference_acc
+    );
     println!();
 
     // 2. Re-run the test set with the conv layer computed photonically.

@@ -16,6 +16,12 @@
 //!   scheduler (Fig. 3), analytical timing framework (eq. 6–8, Fig. 6),
 //!   pipeline simulator (Fig. 4) and functional photonic inference.
 //! * [`baselines`] — Eyeriss-like, YodaNN-like and roofline comparators.
+//! * [`fleet`] — multi-accelerator serving simulation: arrival processes
+//!   (Poisson / bursty MMPP / diurnal), batching admission schedulers
+//!   (FIFO / EDF / network-affinity), a discrete-event engine over
+//!   heterogeneous PCNNA fleets, and the serving figures of merit —
+//!   p50/p95/p99/p999 latency, throughput, SLO attainment, utilization,
+//!   energy per request.
 //!
 //! ## Quickstart
 //!
@@ -35,9 +41,33 @@
 //! assert_eq!(report.layers[0].rings_filtered, 34_848);
 //! ```
 //!
+//! ## Serving simulation
+//!
+//! ```
+//! use pcnna::core::PcnnaConfig;
+//! use pcnna::fleet::prelude::*;
+//!
+//! let report = FleetScenario {
+//!     classes: vec![
+//!         NetworkClass::alexnet(0.004, 1.0),
+//!         NetworkClass::lenet5(0.0005, 3.0),
+//!     ],
+//!     arrival: ArrivalProcess::Poisson { rate_rps: 5_000.0 },
+//!     policy: Policy::NetworkAffinity,
+//!     instances: vec![PcnnaConfig::default(); 4],
+//!     horizon_s: 0.1,
+//!     ..FleetScenario::default()
+//! }
+//! .simulate()
+//! .unwrap();
+//! assert_eq!(report.admitted, report.completed);
+//! assert!(report.latency.p99_s >= report.latency.p50_s);
+//! ```
+//!
 //! See the `examples/` directory for runnable scenarios: `quickstart`,
 //! `alexnet_analysis` (Fig. 5 + Fig. 6), `photonic_inference` (functional
-//! device-level CNN execution), `design_space` and `noise_study`.
+//! device-level CNN execution), `design_space`, `noise_study` and
+//! `fleet_serving` (multi-accelerator serving with SLO tables).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,4 +76,5 @@ pub use pcnna_baselines as baselines;
 pub use pcnna_cnn as cnn;
 pub use pcnna_core as core;
 pub use pcnna_electronics as electronics;
+pub use pcnna_fleet as fleet;
 pub use pcnna_photonics as photonics;

@@ -23,8 +23,7 @@ fn feasibility_and_tiling_agree_on_pass_counts() {
     let budget = SpectralBudget::default();
     let feas = FeasibilityModel::new(config, budget).unwrap();
     let planner = TilingPlanner::new(config).unwrap();
-    let constraints = TileConstraints::from_config(&config)
-        .with_carriers(budget.usable_channels());
+    let constraints = TileConstraints::from_config(&config).with_carriers(budget.usable_channels());
     for (name, g) in zoo::alexnet_conv_layers() {
         let f = feas.layer(name, &g);
         if g.n_kernel_per_channel() > budget.usable_channels() {
@@ -97,7 +96,10 @@ fn controller_duty_is_negligible_at_benign_drift() {
             "{name}: duty {}",
             plan.duty_overhead
         );
-        assert!(plan.recalibration_period > plan.recalibration_cost, "{name}");
+        assert!(
+            plan.recalibration_period > plan.recalibration_cost,
+            "{name}"
+        );
     }
 }
 

@@ -15,10 +15,17 @@ use pcnna::photonics::link::{BroadcastWeightLink, LinkConfig};
 
 /// Strategy: a small but varied valid conv geometry.
 fn geometries() -> impl Strategy<Value = ConvGeometry> {
-    (4usize..14, 1usize..5, 0usize..3, 1usize..4, 1usize..5, 1usize..7).prop_filter_map(
-        "kernel must fit padded input",
-        |(n, m, p, s, nc, k)| ConvGeometry::new(n, m, p, s, nc, k).ok(),
+    (
+        4usize..14,
+        1usize..5,
+        0usize..3,
+        1usize..4,
+        1usize..5,
+        1usize..7,
     )
+        .prop_filter_map("kernel must fit padded input", |(n, m, p, s, nc, k)| {
+            ConvGeometry::new(n, m, p, s, nc, k).ok()
+        })
 }
 
 proptest! {

@@ -1,0 +1,337 @@
+//! Offline facade for `criterion`.
+//!
+//! The build container cannot fetch the real criterion, so this crate
+//! provides a compatible-but-minimal harness for the API surface the
+//! workspace's benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: each bench warms up briefly, picks an iteration
+//! count targeting [`Criterion::measurement_time`], takes
+//! `sample_size` timed samples, and prints the median with min/max spread
+//! in criterion-like one-line output. There are no plots, no statistics
+//! beyond median/min/max, and no saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Throughput annotation (reported alongside the time).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The timing loop handed to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let iters = self.iters.max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(400),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+fn run_one(
+    name: &str,
+    settings: &Settings,
+    throughput: Option<Throughput>,
+    mut routine: impl FnMut(&mut Bencher),
+) {
+    // Warm-up & calibration: grow the iteration count until one sample
+    // costs a meaningful slice of the warm-up budget.
+    let mut iters: u64 = 1;
+    let mut per_iter;
+    let warm_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        per_iter = b.elapsed.checked_div(b.iters as u32).unwrap_or_default();
+        if warm_start.elapsed() >= settings.warm_up_time || b.elapsed > Duration::from_millis(10) {
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+
+    // Pick iters so `sample_size` samples fill the measurement budget.
+    let per_sample = settings.measurement_time.as_nanos() / settings.sample_size.max(1) as u128;
+    let per_iter_ns = per_iter.as_nanos().max(1);
+    iters = ((per_sample / per_iter_ns) as u64).clamp(1, 1_000_000_000);
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size.max(1) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = samples_ns[samples_ns.len() / 2];
+    let min = samples_ns[0];
+    let max = *samples_ns.last().unwrap_or(&median);
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(" {:>12}/s", human_rate(n as f64 / (median * 1e-9), "B")),
+        Throughput::Elements(n) => {
+            format!(" {:>12}/s", human_rate(n as f64 / (median * 1e-9), "elem"))
+        }
+    });
+    println!(
+        "{name:<48} time: [{} {} {}]{}",
+        human_time(min),
+        human_time(median),
+        human_time(max),
+        rate.unwrap_or_default()
+    );
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn human_rate(per_s: f64, unit: &str) -> String {
+    if per_s >= 1e9 {
+        format!("{:.2} G{unit}", per_s / 1e9)
+    } else if per_s >= 1e6 {
+        format!("{:.2} M{unit}", per_s / 1e6)
+    } else if per_s >= 1e3 {
+        format!("{:.2} K{unit}", per_s / 1e3)
+    } else {
+        format!("{per_s:.2} {unit}")
+    }
+}
+
+/// The bench harness root — facade of `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Sets the per-bench sample count.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget per bench.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, &self.settings, None, f);
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            throughput: None,
+            _parent: core::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    _parent: core::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for subsequent benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget for subsequent benches in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Annotates subsequent benches with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            &self.settings,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            &self.settings,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Facade of `criterion_group!`: defines a function running the targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Facade of `criterion_main!`: a `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20));
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| black_box(2u64) + black_box(3u64))
+        });
+    }
+
+    #[test]
+    fn group_with_input_runs() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20));
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::new("sum", 100u32), &100u32, |b, &n| {
+            b.iter(|| (0..n).sum::<u32>())
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,200 @@
+//! Offline facade for `rand`.
+//!
+//! The build container has no crates.io access, so this crate provides the
+//! (small) slice of the `rand` 0.8 API the PCNNA workspace actually uses:
+//!
+//! * [`Rng::gen_range`] over half-open [`core::ops::Range`]s of the
+//!   primitive integer and float types,
+//! * [`SeedableRng::seed_from_u64`], and
+//! * [`rngs::StdRng`], here a xoshiro256** generator seeded via SplitMix64
+//!   (deterministic across platforms, which is what the tests rely on —
+//!   they only ever construct it from explicit seeds).
+//!
+//! It is *not* the real rand: distributions, `thread_rng`, fill, etc. are
+//! intentionally absent. Swapping the real crate back in is a manifest
+//! change only.
+
+#![forbid(unsafe_code)]
+
+use core::ops::Range;
+
+/// Low-level generator interface: a source of random `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling interface (facade of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples uniformly from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p}");
+        f64::sample_range(self, 0.0..1.0) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types [`Rng::gen_range`] can sample uniformly over a half-open range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample from `[range.start, range.end)`.
+    fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty gen_range");
+                let span = range.end.abs_diff(range.start) as u128;
+                // Multiply-shift bounded sampling; the tiny modulo bias of a
+                // plain `% span` is irrelevant for simulation workloads, but
+                // widening to u128 keeps it exact for 64-bit spans anyway.
+                let r = ((rng.next_u64() as u128).wrapping_mul(span) >> 64) as u64;
+                range.start.wrapping_add(r as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty gen_range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = range.start + unit * (range.end - range.start);
+        // start + unit·span can round up to `end` when the endpoints are
+        // large in magnitude; keep the documented half-open contract.
+        if v < range.end {
+            v
+        } else {
+            range.end.next_down().max(range.start)
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty gen_range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        let v = range.start + unit * (range.end - range.start);
+        if v < range.end {
+            v
+        } else {
+            range.end.next_down().max(range.start)
+        }
+    }
+}
+
+/// Facade of `rand::SeedableRng` — only the `seed_from_u64` entry point.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for `StdRng`.
+    ///
+    /// Unlike the real `StdRng` (ChaCha12) this is not cryptographic; the
+    /// workspace only uses it for reproducible simulation workloads.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 state expansion, per Blackman & Vigna's reference.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..16);
+            assert!((3..16).contains(&x));
+            let f = rng.gen_range(-0.9f64..0.9);
+            assert!((-0.9..0.9).contains(&f));
+            let g = rng.gen_range(0.25f32..4.0);
+            assert!((0.25..4.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn float_mean_is_centred() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

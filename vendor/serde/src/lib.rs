@@ -1,0 +1,27 @@
+//! Offline facade for `serde`.
+//!
+//! The container building this workspace has no crates.io access, so the
+//! real serde cannot be fetched. The model types throughout the PCNNA
+//! workspace annotate themselves with `#[derive(Serialize, Deserialize)]`
+//! for downstream consumers; nothing in-tree performs serde serialization
+//! at runtime. This facade keeps those annotations compiling:
+//!
+//! * [`Serialize`] / [`Deserialize`] are marker traits (blanket-implemented
+//!   for every type), and
+//! * the same names re-export no-op derive macros from the vendored
+//!   `serde_derive`.
+//!
+//! Swapping in the real serde is a one-line change in the workspace
+//! manifest — no source edits required.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker facade for `serde::Serialize`. Blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker facade for `serde::Deserialize`. Blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

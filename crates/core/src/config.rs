@@ -30,6 +30,18 @@ pub enum AllocationPolicy {
     FilteredChannelSequential,
 }
 
+impl AllocationPolicy {
+    /// A short fixed-width tag for table rendering.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            AllocationPolicy::Unfiltered => "unfilt",
+            AllocationPolicy::Filtered => "filt",
+            AllocationPolicy::FilteredChannelSequential => "chseq",
+        }
+    }
+}
+
 /// The order kernel locations are visited in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ScanOrder {
@@ -188,6 +200,77 @@ impl PcnnaConfig {
         self.bottleneck = model;
         self
     }
+
+    /// Returns a copy with a different input-DAC model (rate/bits/power).
+    #[must_use]
+    pub fn with_input_dac(mut self, dac: DacModel) -> Self {
+        self.input_dac = dac;
+        self
+    }
+
+    /// Returns a copy with a different weight-DAC count.
+    #[must_use]
+    pub fn with_weight_dacs(mut self, n: usize) -> Self {
+        self.n_weight_dacs = n;
+        self
+    }
+
+    /// Returns a copy with a different output-ADC count.
+    #[must_use]
+    pub fn with_adcs(mut self, n: usize) -> Self {
+        self.n_adcs = n;
+        self
+    }
+
+    /// Returns a copy with a different output-ADC model (rate/bits/power).
+    #[must_use]
+    pub fn with_adc(mut self, adc: AdcModel) -> Self {
+        self.adc = adc;
+        self
+    }
+
+    /// Returns a copy with a different input SRAM model.
+    #[must_use]
+    pub fn with_sram(mut self, sram: SramModel) -> Self {
+        self.sram = sram;
+        self
+    }
+
+    /// Returns a copy with a different off-chip DRAM model.
+    #[must_use]
+    pub fn with_dram(mut self, dram: DramModel) -> Self {
+        self.dram = dram;
+        self
+    }
+
+    /// Returns a copy with a different microring pitch (metres).
+    #[must_use]
+    pub fn with_ring_pitch(mut self, pitch_m: f64) -> Self {
+        self.ring_pitch_m = pitch_m;
+        self
+    }
+
+    /// Returns a copy with a different photonic link configuration.
+    #[must_use]
+    pub fn with_link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Returns a copy that charges (or stops charging) per-layer kernel
+    /// weight loading to execution time.
+    #[must_use]
+    pub fn with_weight_load_charged(mut self, charge: bool) -> Self {
+        self.include_weight_load = charge;
+        self
+    }
+
+    /// Returns a copy with a different stored-value width, bytes.
+    #[must_use]
+    pub fn with_bytes_per_value(mut self, bytes: u64) -> Self {
+        self.bytes_per_value = bytes;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -241,5 +324,44 @@ mod tests {
         assert_eq!(c.allocation, AllocationPolicy::FilteredChannelSequential);
         assert_eq!(c.scan, ScanOrder::Serpentine);
         assert_eq!(c.bottleneck, BottleneckModel::MaxOfStages);
+    }
+
+    #[test]
+    fn builders_cover_every_dse_knob() {
+        // The design-space explorer mutates configs exclusively through
+        // `with_*` builders — each must land on the right field and leave
+        // the rest of the paper design point untouched.
+        let adc = AdcModel {
+            bits: 6,
+            ..AdcModel::default()
+        };
+        let dac = DacModel {
+            rate_sps: 12e9,
+            ..DacModel::default()
+        };
+        let c = PcnnaConfig::default()
+            .with_adcs(64)
+            .with_adc(adc)
+            .with_input_dac(dac)
+            .with_weight_dacs(4)
+            .with_ring_pitch(20e-6)
+            .with_weight_load_charged(true)
+            .with_bytes_per_value(4);
+        assert_eq!(c.n_adcs, 64);
+        assert_eq!(c.adc.bits, 6);
+        assert_eq!(c.input_dac.rate_sps, 12e9);
+        assert_eq!(c.n_weight_dacs, 4);
+        assert_eq!(c.ring_pitch_m, 20e-6);
+        assert!(c.include_weight_load);
+        assert_eq!(c.bytes_per_value, 4);
+        // untouched fields keep the paper design point
+        assert_eq!(c.n_input_dacs, 10);
+        assert_eq!(c.fast_clock.frequency_hz(), 5e9);
+        assert!(c.validate().is_ok());
+        let c = PcnnaConfig::default()
+            .with_sram(SramModel::default())
+            .with_dram(DramModel::default())
+            .with_link(LinkConfig::default());
+        assert_eq!(c, PcnnaConfig::default());
     }
 }

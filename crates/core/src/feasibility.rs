@@ -52,6 +52,30 @@ impl Default for SpectralBudget {
 }
 
 impl SpectralBudget {
+    /// Returns a copy with a different WDM channel spacing, Hz (the
+    /// design-space explorer's wavelength-count knob: tighter spacing means
+    /// more usable carriers within both budgets).
+    #[must_use]
+    pub fn with_channel_spacing_hz(mut self, spacing_hz: f64) -> Self {
+        self.channel_spacing_hz = spacing_hz;
+        self
+    }
+
+    /// Returns a copy with a different microring radius, metres (sets the
+    /// FSR and thus the per-ring carrier budget — the MRR bank-size knob).
+    #[must_use]
+    pub fn with_ring_radius_m(mut self, radius_m: f64) -> Self {
+        self.ring_radius_m = radius_m;
+        self
+    }
+
+    /// Returns a copy with a different waveguide group index.
+    #[must_use]
+    pub fn with_group_index(mut self, n_g: f64) -> Self {
+        self.group_index = n_g;
+        self
+    }
+
     /// Channels that fit the conventional C band at this spacing.
     #[must_use]
     pub fn c_band_channels(&self) -> u64 {
@@ -284,15 +308,22 @@ mod tests {
 
     #[test]
     fn bigger_rings_mean_fewer_usable_channels() {
-        let small = SpectralBudget {
-            ring_radius_m: 5e-6,
-            ..SpectralBudget::default()
-        };
-        let big = SpectralBudget {
-            ring_radius_m: 20e-6,
-            ..SpectralBudget::default()
-        };
+        let small = SpectralBudget::default().with_ring_radius_m(5e-6);
+        let big = SpectralBudget::default().with_ring_radius_m(20e-6);
         assert!(small.fsr_channels() > big.fsr_channels());
+    }
+
+    #[test]
+    fn budget_builders_land_on_the_right_fields() {
+        let b = SpectralBudget::default()
+            .with_channel_spacing_hz(25e9)
+            .with_ring_radius_m(7.5e-6)
+            .with_group_index(4.0);
+        assert_eq!(b.channel_spacing_hz, 25e9);
+        assert_eq!(b.ring_radius_m, 7.5e-6);
+        assert_eq!(b.group_index, 4.0);
+        // tighter spacing buys more carriers than the default 50 GHz
+        assert!(b.usable_channels() > SpectralBudget::default().usable_channels());
     }
 
     #[test]

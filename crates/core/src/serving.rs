@@ -1,7 +1,8 @@
 //! Serving-oriented execution summaries (reproduction extension).
 //!
 //! The fleet simulator (`pcnna-fleet`) replays millions of requests against
-//! a pool of PCNNA instances. Re-running [`AnalyticalModel`] per request
+//! a pool of PCNNA instances. Re-running
+//! [`AnalyticalModel`](crate::analytical::AnalyticalModel) per request
 //! would dominate the simulation, so this module collapses a whole network
 //! on a given [`PcnnaConfig`] into a [`ServiceQuote`] — the affine
 //! batch-cost model

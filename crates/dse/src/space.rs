@@ -1,0 +1,403 @@
+//! The explorable design space: knobs, candidates, and fingerprints.
+//!
+//! A [`Candidate`] is one complete accelerator description — a
+//! [`PcnnaConfig`] paired with the [`SpectralBudget`] that bounds its WDM
+//! carrier count. A [`DesignSpace`] is a set of per-knob value lists; a
+//! [`KnobChoice`] indexes one value per knob, and
+//! [`DesignSpace::assemble`] turns a choice into a candidate by applying
+//! the workspace's `with_*` builders to a base design point (the search
+//! code never reaches into raw struct fields).
+//!
+//! Knob coupling: assembly harmonizes the photonic
+//! [`LinkConfig`](pcnna_photonics::link::LinkConfig) with the
+//! rest of the candidate — the link inherits the budget's channel spacing,
+//! and its detection bandwidth tracks the fast clock (a faster symbol rate
+//! integrates more receiver noise, which is exactly the latency ↔ SNR
+//! tension the explorer is meant to surface).
+
+use crate::{DseError, Result};
+use pcnna_core::config::{AllocationPolicy, PcnnaConfig};
+use pcnna_core::feasibility::SpectralBudget;
+use pcnna_electronics::adc::AdcModel;
+use pcnna_electronics::clock::ClockDomain;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Number of knobs in a [`DesignSpace`].
+pub const N_KNOBS: usize = 7;
+
+/// One value index per knob, in [`DesignSpace`] field order:
+/// `[n_input_dacs, n_adcs, adc_bits, fast_clock_ghz, allocations,
+/// channel_spacing_ghz, ring_radius_um]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KnobChoice(pub [usize; N_KNOBS]);
+
+/// One complete accelerator design: hardware config + spectral budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The hardware configuration.
+    pub config: PcnnaConfig,
+    /// The WDM carrier budget (C band + microring FSR).
+    pub budget: SpectralBudget,
+}
+
+impl Candidate {
+    /// The paper's design point under the default spectral budget.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Candidate {
+            config: PcnnaConfig::default(),
+            budget: SpectralBudget::default(),
+        }
+    }
+
+    /// Returns a copy whose photonic link mirrors the knobs it physically
+    /// shares: the WDM grid spacing comes from the spectral budget, the
+    /// receiver detection bandwidth from the fast (symbol) clock. The
+    /// evaluator applies this to every candidate, so a hand-built
+    /// `Candidate` is scored under the same coupling as one produced by
+    /// [`DesignSpace::assemble`]. Idempotent.
+    #[must_use]
+    pub fn harmonized(&self) -> Self {
+        let mut link = self.config.link;
+        link.channel_spacing_hz = self.budget.channel_spacing_hz;
+        link.detection_bandwidth_hz = self.config.fast_clock.frequency_hz();
+        Candidate {
+            config: self.config.with_link(link),
+            budget: self.budget,
+        }
+    }
+
+    /// A stable 64-bit key for memoization: FNV-1a over the exact `Debug`
+    /// rendering of both halves. Two candidates collide only if every
+    /// field (down to the f64 bit patterns `Debug` round-trips) agrees,
+    /// which is precisely the "same design" equivalence the evaluation
+    /// cache needs.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |text: &str| {
+            for b in text.as_bytes() {
+                hash ^= u64::from(*b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&format!("{:?}", self.config));
+        eat(&format!("{:?}", self.budget));
+        hash
+    }
+}
+
+/// Enumerable/sampleable value lists for every explored knob, plus the
+/// base design point the knobs are applied to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    /// Parallel input-DAC counts.
+    pub n_input_dacs: Vec<usize>,
+    /// Parallel output-ADC counts.
+    pub n_adcs: Vec<usize>,
+    /// Output-ADC nominal resolutions, bits (drives the SNR requirement).
+    pub adc_bits: Vec<u8>,
+    /// Fast (optical-core) clock frequencies, GHz.
+    pub fast_clock_ghz: Vec<f64>,
+    /// Ring/wavelength allocation policies.
+    pub allocations: Vec<AllocationPolicy>,
+    /// WDM channel spacings, GHz (the wavelength-count knob).
+    pub channel_spacing_ghz: Vec<f64>,
+    /// Microring radii, µm (sets the FSR → the MRR bank-size knob).
+    pub ring_radius_um: Vec<f64>,
+    /// Base hardware configuration the knobs override.
+    pub base_config: PcnnaConfig,
+    /// Base spectral budget the knobs override.
+    pub base_budget: SpectralBudget,
+}
+
+impl Default for DesignSpace {
+    /// The full exploration space used by the `dse` harness: 3 888 points
+    /// spanning converter provisioning, clocking, allocation policy, and
+    /// the spectral budget.
+    fn default() -> Self {
+        DesignSpace {
+            n_input_dacs: vec![4, 8, 10, 16, 32, 64],
+            n_adcs: vec![8, 16, 32, 64],
+            adc_bits: vec![6, 8, 10],
+            fast_clock_ghz: vec![2.5, 5.0, 10.0],
+            allocations: vec![
+                AllocationPolicy::Filtered,
+                AllocationPolicy::FilteredChannelSequential,
+            ],
+            channel_spacing_ghz: vec![25.0, 50.0, 100.0],
+            ring_radius_um: vec![5.0, 10.0, 20.0],
+            base_config: PcnnaConfig::default(),
+            base_budget: SpectralBudget::default(),
+        }
+    }
+}
+
+impl DesignSpace {
+    /// A deliberately tiny space (48 points) for CI smoke runs and tests.
+    #[must_use]
+    pub fn smoke() -> Self {
+        DesignSpace {
+            n_input_dacs: vec![4, 10, 32],
+            n_adcs: vec![16, 32],
+            adc_bits: vec![8, 10],
+            fast_clock_ghz: vec![5.0],
+            allocations: vec![
+                AllocationPolicy::Filtered,
+                AllocationPolicy::FilteredChannelSequential,
+            ],
+            channel_spacing_ghz: vec![50.0, 100.0],
+            ring_radius_um: vec![10.0],
+            ..DesignSpace::default()
+        }
+    }
+
+    /// Validates the space: every knob list non-empty, every numeric value
+    /// positive and finite, and the base design point itself valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::InvalidSpace`] naming the offending knob.
+    pub fn validate(&self) -> Result<()> {
+        let fail = |reason: String| Err(DseError::InvalidSpace { reason });
+        if self.n_input_dacs.is_empty()
+            || self.n_adcs.is_empty()
+            || self.adc_bits.is_empty()
+            || self.fast_clock_ghz.is_empty()
+            || self.allocations.is_empty()
+            || self.channel_spacing_ghz.is_empty()
+            || self.ring_radius_um.is_empty()
+        {
+            return fail("every knob needs at least one value".to_owned());
+        }
+        if self.n_input_dacs.contains(&0) || self.n_adcs.contains(&0) {
+            return fail("converter counts must be nonzero".to_owned());
+        }
+        if self.adc_bits.contains(&0) {
+            return fail("ADC resolutions must be nonzero".to_owned());
+        }
+        for (label, values) in [
+            ("fast_clock_ghz", &self.fast_clock_ghz),
+            ("channel_spacing_ghz", &self.channel_spacing_ghz),
+            ("ring_radius_um", &self.ring_radius_um),
+        ] {
+            if values.iter().any(|v| !(v.is_finite() && *v > 0.0)) {
+                return fail(format!("{label} values must be finite and positive"));
+            }
+        }
+        self.base_config.validate().map_err(DseError::Core)?;
+        Ok(())
+    }
+
+    /// The per-knob list lengths, in [`KnobChoice`] order.
+    #[must_use]
+    pub fn knob_sizes(&self) -> [usize; N_KNOBS] {
+        [
+            self.n_input_dacs.len(),
+            self.n_adcs.len(),
+            self.adc_bits.len(),
+            self.fast_clock_ghz.len(),
+            self.allocations.len(),
+            self.channel_spacing_ghz.len(),
+            self.ring_radius_um.len(),
+        ]
+    }
+
+    /// Total number of grid points (product of the knob list lengths).
+    #[must_use]
+    pub fn cardinality(&self) -> u64 {
+        self.knob_sizes().iter().map(|&n| n as u64).product()
+    }
+
+    /// Builds the candidate a choice describes, through `with_*` builders
+    /// only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index in `choice` is out of range for its knob list —
+    /// choices must come from this space's `grid_choices` /
+    /// `sample_choice` / `mutate_choice`.
+    #[must_use]
+    pub fn assemble(&self, choice: KnobChoice) -> Candidate {
+        let [di, ai, bi, ci, li, si, ri] = choice.0;
+        let clock_hz = self.fast_clock_ghz[ci] * 1e9;
+        let budget = self
+            .base_budget
+            .with_channel_spacing_hz(self.channel_spacing_ghz[si] * 1e9)
+            .with_ring_radius_m(self.ring_radius_um[ri] * 1e-6);
+        let config = self
+            .base_config
+            .with_input_dacs(self.n_input_dacs[di])
+            .with_adcs(self.n_adcs[ai])
+            .with_adc(AdcModel {
+                bits: self.adc_bits[bi],
+                ..self.base_config.adc
+            })
+            .with_fast_clock(
+                ClockDomain::new("fast", clock_hz).expect("validated positive frequency"),
+            )
+            .with_allocation(self.allocations[li]);
+        Candidate { config, budget }.harmonized()
+    }
+
+    /// Every choice in the grid, in a fixed odometer order (last knob
+    /// fastest). Deterministic: two calls return identical vectors.
+    #[must_use]
+    pub fn grid_choices(&self) -> Vec<KnobChoice> {
+        let sizes = self.knob_sizes();
+        let total = self.cardinality() as usize;
+        let mut out = Vec::with_capacity(total);
+        let mut idx = [0usize; N_KNOBS];
+        for _ in 0..total {
+            out.push(KnobChoice(idx));
+            for k in (0..N_KNOBS).rev() {
+                idx[k] += 1;
+                if idx[k] < sizes[k] {
+                    break;
+                }
+                idx[k] = 0;
+            }
+        }
+        out
+    }
+
+    /// Draws a uniform random choice.
+    pub fn sample_choice(&self, rng: &mut StdRng) -> KnobChoice {
+        let sizes = self.knob_sizes();
+        let mut idx = [0usize; N_KNOBS];
+        for (slot, &size) in idx.iter_mut().zip(&sizes) {
+            *slot = rng.gen_range(0..size);
+        }
+        KnobChoice(idx)
+    }
+
+    /// Mutates a parent choice: each knob independently re-rolls to a
+    /// uniform random value with probability `rate` (knobs with a single
+    /// value are left alone).
+    pub fn mutate_choice(&self, rng: &mut StdRng, parent: KnobChoice, rate: f64) -> KnobChoice {
+        let sizes = self.knob_sizes();
+        let mut idx = parent.0;
+        for (slot, &size) in idx.iter_mut().zip(&sizes) {
+            if size > 1 && rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                *slot = rng.gen_range(0..size);
+            }
+        }
+        KnobChoice(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_space_validates_and_counts() {
+        let s = DesignSpace::default();
+        assert!(s.validate().is_ok());
+        assert_eq!(s.cardinality(), 6 * 4 * 3 * 3 * 2 * 3 * 3);
+        assert_eq!(s.grid_choices().len() as u64, s.cardinality());
+        assert!(DesignSpace::smoke().validate().is_ok());
+        assert_eq!(DesignSpace::smoke().cardinality(), 48);
+    }
+
+    #[test]
+    fn grid_choices_are_unique_and_in_range() {
+        let s = DesignSpace::smoke();
+        let choices = s.grid_choices();
+        let sizes = s.knob_sizes();
+        for c in &choices {
+            for (i, &v) in c.0.iter().enumerate() {
+                assert!(v < sizes[i]);
+            }
+        }
+        let mut seen: Vec<_> = choices.clone();
+        seen.sort_unstable_by_key(|c| c.0);
+        seen.dedup();
+        assert_eq!(seen.len(), choices.len());
+    }
+
+    #[test]
+    fn assemble_applies_every_knob() {
+        let s = DesignSpace::default();
+        let c = s.assemble(KnobChoice([5, 3, 0, 2, 1, 0, 2]));
+        assert_eq!(c.config.n_input_dacs, 64);
+        assert_eq!(c.config.n_adcs, 64);
+        assert_eq!(c.config.adc.bits, 6);
+        assert_eq!(c.config.fast_clock.frequency_hz(), 10e9);
+        assert_eq!(
+            c.config.allocation,
+            AllocationPolicy::FilteredChannelSequential
+        );
+        assert_eq!(c.budget.channel_spacing_hz, 25e9);
+        // 20.0 * 1e-6 differs from the literal 20e-6 by one ulp
+        assert!((c.budget.ring_radius_m - 20e-6).abs() < 1e-12);
+        // link harmonization
+        assert_eq!(c.config.link.channel_spacing_hz, 25e9);
+        assert_eq!(c.config.link.detection_bandwidth_hz, 10e9);
+        assert!(c.config.validate().is_ok());
+    }
+
+    #[test]
+    fn fingerprints_separate_distinct_candidates() {
+        let s = DesignSpace::smoke();
+        let mut fps: Vec<u64> = s
+            .grid_choices()
+            .into_iter()
+            .map(|c| s.assemble(c).fingerprint())
+            .collect();
+        fps.sort_unstable();
+        let before = fps.len();
+        fps.dedup();
+        assert_eq!(fps.len(), before, "fingerprint collision in smoke grid");
+        // and the fingerprint is a pure function of the candidate
+        let c = Candidate::paper_default();
+        assert_eq!(c.fingerprint(), Candidate::paper_default().fingerprint());
+    }
+
+    #[test]
+    fn sampling_and_mutation_stay_in_range() {
+        let s = DesignSpace::default();
+        let sizes = s.knob_sizes();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut parent = s.sample_choice(&mut rng);
+        for _ in 0..200 {
+            parent = s.mutate_choice(&mut rng, parent, 0.5);
+            for (i, &v) in parent.0.iter().enumerate() {
+                assert!(v < sizes[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_mutation_rate_is_identity() {
+        let s = DesignSpace::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let parent = s.sample_choice(&mut rng);
+        assert_eq!(s.mutate_choice(&mut rng, parent, 0.0), parent);
+    }
+
+    #[test]
+    fn invalid_spaces_are_rejected() {
+        assert!(DesignSpace {
+            n_adcs: vec![],
+            ..DesignSpace::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DesignSpace {
+            fast_clock_ghz: vec![0.0],
+            ..DesignSpace::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DesignSpace {
+            n_input_dacs: vec![0],
+            ..DesignSpace::default()
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based invariants of the design-space explorer: Pareto
+//! dominance, cache bit-identity, and seeded determinism.
+
+use proptest::prelude::*;
+
+use pcnna_dse::prelude::*;
+
+/// Random objective vectors over a few orders of magnitude (all four
+/// senses folded to "minimize" inside `DesignPoint::objectives`).
+fn points() -> impl Strategy<Value = Vec<DesignPoint>> {
+    proptest::collection::vec(
+        (
+            0.001f64..10.0,
+            0.001f64..10.0,
+            0.001f64..10.0,
+            -30.0f64..30.0,
+        ),
+        1..60,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (latency, energy, area, headroom))| DesignPoint {
+                fingerprint: i as u64,
+                latency_s: latency,
+                energy_j: energy,
+                area_mm2: area,
+                snr_headroom_db: headroom,
+                usable_channels: 1,
+                spectral_passes: 1,
+                spectrally_bound: false,
+                throughput_fps: 1.0 / latency,
+            })
+            .collect()
+    })
+}
+
+/// Small random knob choices over the full default space.
+fn choices() -> impl Strategy<Value = KnobChoice> {
+    // index space of DesignSpace::default(): [6, 4, 3, 3, 2, 3, 3]
+    (
+        0usize..6,
+        0usize..4,
+        0usize..3,
+        0usize..3,
+        0usize..2,
+        0usize..3,
+        0usize..3,
+    )
+        .prop_map(|(a, b, c, d, e, f, g)| KnobChoice([a, b, c, d, e, f, g]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn no_frontier_point_dominates_another(pts in points()) {
+        let cand = Candidate::paper_default();
+        let mut frontier = ParetoFrontier::new();
+        for p in &pts {
+            frontier.insert(cand, *p);
+        }
+        prop_assert!(!frontier.is_empty());
+        let entries = frontier.entries();
+        for (i, a) in entries.iter().enumerate() {
+            for (j, b) in entries.iter().enumerate() {
+                if i != j {
+                    prop_assert!(
+                        !a.point.weakly_dominates(&b.point),
+                        "frontier holds a dominated pair: {:?} vs {:?}",
+                        a.point.objectives(),
+                        b.point.objectives()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inserting_a_dominated_point_is_a_noop(pts in points()) {
+        let cand = Candidate::paper_default();
+        let mut frontier = ParetoFrontier::new();
+        for p in &pts {
+            frontier.insert(cand, *p);
+        }
+        // A point strictly worse than some resident in every objective is
+        // dominated; offering it must not change the frontier at all.
+        let resident = frontier.entries()[0].point;
+        let worse = DesignPoint {
+            fingerprint: u64::MAX,
+            latency_s: resident.latency_s * 2.0,
+            energy_j: resident.energy_j * 2.0,
+            area_mm2: resident.area_mm2 * 2.0,
+            snr_headroom_db: resident.snr_headroom_db - 1.0,
+            ..resident
+        };
+        let before = frontier.clone();
+        prop_assert!(!frontier.insert(cand, worse));
+        prop_assert_eq!(&frontier, &before);
+        // Re-offering an exact resident copy is equally a no-op.
+        prop_assert!(!frontier.insert(cand, resident));
+        prop_assert_eq!(&frontier, &before);
+    }
+
+    #[test]
+    fn every_insert_reports_membership_truthfully(pts in points()) {
+        let cand = Candidate::paper_default();
+        let mut frontier = ParetoFrontier::new();
+        for p in &pts {
+            let admitted = frontier.insert(cand, *p);
+            let present = frontier
+                .entries()
+                .iter()
+                .any(|e| e.point.fingerprint == p.fingerprint);
+            prop_assert_eq!(admitted, present);
+        }
+    }
+
+    #[test]
+    fn cache_returns_bit_identical_points(choice in choices(), repeats in 2usize..5) {
+        let space = DesignSpace::default();
+        let ev = Evaluator::lenet5();
+        let cand = space.assemble(choice);
+        let mut cache = EvalCache::new();
+        let first = cache.evaluate(&ev, &cand);
+        for _ in 1..repeats {
+            let again = cache.evaluate(&ev, &cand);
+            // bit-identical: every f64 field compares exactly equal
+            prop_assert_eq!(first, again);
+        }
+        prop_assert_eq!(cache.misses(), 1);
+        prop_assert_eq!(cache.hits(), (repeats - 1) as u64);
+        // and a fresh evaluator run agrees with the cached verdict
+        prop_assert_eq!(first, ev.evaluate(&cand));
+    }
+
+    #[test]
+    fn seeded_evolution_reproduces_frontiers(seed in 0u64..500) {
+        let space = DesignSpace::smoke();
+        let ev = Evaluator::lenet5();
+        let cfg = EvolutionConfig {
+            population: 12,
+            generations: 3,
+            seed,
+            threads: 4,
+            ..EvolutionConfig::default()
+        };
+        let a = evolve(&space, &ev, &cfg).unwrap();
+        let b = evolve(&space, &ev, &cfg).unwrap();
+        prop_assert_eq!(a.frontier, b.frontier);
+        prop_assert_eq!(a.stats, b.stats);
+    }
+}

@@ -400,7 +400,10 @@ impl<'a> Engine<'a> {
     }
 
     fn report(self) -> FleetReport {
-        let makespan_s = self.last_event_s.max(f64::MIN_POSITIVE);
+        // A horizon short (or a rate low) enough to produce zero arrivals
+        // is a legal run: every ratio below must degrade to 0, not NaN.
+        let makespan_s = self.last_event_s;
+        let safe_ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
         let mut all: Vec<f64> = self.latencies_per_class.iter().flatten().copied().collect();
         let on_time: u64 = self.on_time_per_class.iter().sum();
         let per_class = self
@@ -438,9 +441,11 @@ impl<'a> Engine<'a> {
                 0.0
             },
             makespan_s,
-            throughput_rps: self.completed as f64 / makespan_s,
-            utilization: self.busy_time_s.iter().sum::<f64>()
-                / (makespan_s * self.busy_time_s.len() as f64),
+            throughput_rps: safe_ratio(self.completed as f64, makespan_s),
+            utilization: safe_ratio(
+                self.busy_time_s.iter().sum::<f64>(),
+                makespan_s * self.busy_time_s.len() as f64,
+            ),
             per_instance_batches: self.per_instance_batches,
             slo_attainment: if self.completed > 0 {
                 on_time as f64 / self.completed as f64
@@ -604,6 +609,49 @@ mod tests {
             assert!(r.completed > 0, "{arrival:?}");
             assert_eq!(r.admitted, r.completed, "{arrival:?}");
         }
+    }
+
+    #[test]
+    fn zero_arrival_run_reports_finite_zeros() {
+        // Regression: a legal scenario can produce no arrivals at all
+        // (here: mean inter-arrival 1000 s against a 1 ms horizon). Every
+        // report statistic must come out zero/finite — no NaN from 0/0
+        // makespans or empty latency samples — and rendering must work.
+        let r = FleetScenario {
+            arrival: ArrivalProcess::Poisson { rate_rps: 0.001 },
+            horizon_s: 0.001,
+            ..small_scenario()
+        }
+        .simulate()
+        .unwrap();
+        assert_eq!(r.offered, 0);
+        assert_eq!(r.completed, 0);
+        for (label, v) in [
+            ("makespan", r.makespan_s),
+            ("throughput", r.throughput_rps),
+            ("utilization", r.utilization),
+            ("mean_batch", r.mean_batch),
+            ("slo", r.slo_attainment),
+            ("energy/req", r.energy_per_request_j),
+            ("p50", r.latency.p50_s),
+            ("p999", r.latency.p999_s),
+            ("mean", r.latency.mean_s),
+            ("max", r.latency.max_s),
+        ] {
+            assert!(v.is_finite(), "{label} is not finite: {v}");
+            assert_eq!(v, 0.0, "{label} should be zero on an empty run");
+        }
+        assert_eq!(r.latency, LatencySummary::default());
+        for c in &r.per_class {
+            assert_eq!(c.completed, 0);
+            assert!(c.slo_attainment.is_finite());
+            assert!(c.latency.mean_s.is_finite());
+        }
+        let rendered = r.render();
+        assert!(
+            !rendered.contains("NaN") && !rendered.contains("inf"),
+            "render leaked a non-finite value:\n{rendered}"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! * [`workload`] — arrival processes ([Poisson](workload::ArrivalProcess::Poisson),
 //!   bursty [MMPP](workload::ArrivalProcess::Mmpp), sinusoidal
 //!   [diurnal](workload::ArrivalProcess::Diurnal)) over a
-//!   [`TrafficMix`](workload::TrafficMix) of networks from `pcnna_cnn::zoo`,
+//!   [`TrafficMix`] of networks from `pcnna_cnn::zoo`,
 //!   each request tagged with its class's SLO deadline.
 //! * [`scheduler`] — batching admission policies: FIFO, earliest-deadline-
 //!   first, and network-affinity batching that amortizes the MRR

@@ -1,108 +1,117 @@
-//! Design-space exploration beyond the paper's single design point: where
-//! do the crossovers between bottlenecks fall as the DAC count, fast clock,
-//! stride, and bottleneck model vary?
+//! Design-space exploration walkthrough: from the paper's single design
+//! point to a Pareto frontier and a co-designed serving fleet.
+//!
+//! The paper fixes one PCNNA configuration (10 input DACs, 5 GHz clock,
+//! one ADC model, 50 GHz WDM spacing). `pcnna-dse` treats every one of
+//! those choices as a knob and searches the space for designs no other
+//! design beats on all of latency, energy, area, and SNR headroom at
+//! once.
 //!
 //! Run with: `cargo run --release --example design_space`
 
 use pcnna::cnn::zoo;
-use pcnna::core::config::{BottleneckModel, PcnnaConfig, ScanOrder};
+use pcnna::core::config::PcnnaConfig;
 use pcnna::core::Pcnna;
-use pcnna::electronics::clock::ClockDomain;
+use pcnna::dse::prelude::*;
+use pcnna::fleet::prelude::*;
 
 fn main() {
-    let conv4 = zoo::alexnet_conv_layers()[3].1;
+    // -- 0. the paper's design point, for reference -------------------
+    let accel = Pcnna::new(PcnnaConfig::default()).expect("valid config");
+    let report = accel
+        .analyze_conv_layers(&zoo::alexnet_conv_layers())
+        .expect("alexnet fits");
+    let paper_total_us: f64 = report
+        .layers
+        .iter()
+        .map(|l| l.full_system_time.as_us_f64())
+        .sum();
+    println!("paper design point: AlexNet conv stack in {paper_total_us:.1} µs (O+E)\n");
 
-    println!("== NDAC sweep (conv4, DAC-only model) ==");
-    println!("{:<8} {:>14} {:>18}", "NDAC", "full-system", "vs optical");
-    for n in [1usize, 2, 4, 8, 10, 16, 32, 64, 128] {
-        let accel = Pcnna::new(PcnnaConfig::default().with_input_dacs(n)).expect("valid config");
-        let row = &accel
-            .analyze_conv_layers(&[("conv4", conv4)])
-            .expect("conv4 fits")
-            .layers[0];
-        println!(
-            "{:<8} {:>14} {:>17.1}x",
-            n,
-            row.full_system_time.to_string(),
-            row.timing.io_slowdown()
-        );
-    }
-    println!("diminishing returns set in once the DAC batch drops under one");
-    println!("fast-clock cycle; the optical core becomes the limit.");
-    println!();
-
-    println!("== fast-clock sweep (conv4, optical core) ==");
-    println!("{:<10} {:>14}", "clock", "PCNNA(O)");
-    for ghz in [1.0f64, 2.5, 5.0, 10.0, 20.0, 40.0] {
-        let clock = ClockDomain::new("fast", ghz * 1e9).expect("positive frequency");
-        let accel =
-            Pcnna::new(PcnnaConfig::default().with_fast_clock(clock)).expect("valid config");
-        let row = &accel
-            .analyze_conv_layers(&[("conv4", conv4)])
-            .expect("conv4 fits")
-            .layers[0];
-        println!(
-            "{:<10} {:>14}",
-            format!("{ghz} GHz"),
-            row.optical_time.to_string()
-        );
-    }
-    println!();
-
-    println!("== bottleneck model comparison (all AlexNet layers) ==");
-    let layers = zoo::alexnet_conv_layers();
-    let paper = Pcnna::new(PcnnaConfig::default()).expect("valid config");
-    let fuller = Pcnna::new(PcnnaConfig::default().with_bottleneck(BottleneckModel::MaxOfStages))
-        .expect("valid config");
-    let a = paper.analyze_conv_layers(&layers).expect("fits");
-    let b = fuller.analyze_conv_layers(&layers).expect("fits");
+    // -- 1. define the space and sweep it ------------------------------
+    // The smoke space is 48 points so the example runs in milliseconds;
+    // swap in DesignSpace::default() for the full 3 888-point grid.
+    let space = DesignSpace::smoke();
+    let evaluator = Evaluator::alexnet();
+    let threads = default_threads();
+    let sweep = grid_sweep(&space, &evaluator, threads).expect("space is valid");
     println!(
-        "{:<8} {:>14} {:>14} {:>10}",
-        "layer", "paper(DAC)", "max-of-stages", "bound-by"
+        "grid sweep: {} designs evaluated ({} feasible) → {} on the Pareto frontier",
+        sweep.stats.evaluated,
+        sweep.stats.valid,
+        sweep.frontier.len()
     );
-    for (pa, fu) in a.layers.iter().zip(&b.layers) {
+    println!(
+        "  {:<10} {:>5} {:>5} {:>6} {:>9} {:>10} {:>9} {:>8}",
+        "design", "ndac", "nadc", "alloc?", "lat µs", "energy mJ", "area mm²", "snr dB"
+    );
+    for e in sweep.frontier.sorted_by_latency() {
         println!(
-            "{:<8} {:>14} {:>14} {:>10}",
-            pa.name,
-            pa.full_system_time.to_string(),
-            fu.full_system_time.to_string(),
-            fu.bottleneck
+            "  {:<10} {:>5} {:>5} {:>6} {:>9.1} {:>10.3} {:>9.1} {:>8.1}",
+            format!("{:08x}", (e.point.fingerprint >> 32) as u32),
+            e.candidate.config.n_input_dacs,
+            e.candidate.config.n_adcs,
+            e.candidate.config.allocation.label(),
+            1e6 * e.point.latency_s,
+            1e3 * e.point.energy_j,
+            e.point.area_mm2,
+            e.point.snr_headroom_db,
         );
     }
     println!();
 
-    println!("== stride sensitivity (conv4 variants, DAC-only) ==");
-    println!("{:<8} {:>10} {:>14}", "stride", "Nlocs", "full-system");
-    for s in [1usize, 2, 3] {
-        let g = conv4.with_stride(s).expect("valid stride");
-        let row = &paper
-            .analyze_conv_layers(&[("conv4s", g)])
-            .expect("fits")
-            .layers[0];
-        println!(
-            "{:<8} {:>10} {:>14}",
-            s,
-            row.locations,
-            row.full_system_time.to_string()
-        );
-    }
-    println!();
+    // -- 2. evolutionary refinement over the full space ----------------
+    // Same seed ⇒ same frontier, bit for bit, regardless of thread count.
+    let evo = EvolutionConfig {
+        population: 32,
+        generations: 6,
+        seed: 7,
+        threads,
+        ..EvolutionConfig::default()
+    };
+    let refined = evolve(&DesignSpace::default(), &evaluator, &evo).expect("space is valid");
+    println!(
+        "evolutionary search over the full space (seed {}): {} fresh evaluations, \
+         {} cache hits → {} Pareto designs",
+        evo.seed,
+        refined.stats.evaluated,
+        refined.stats.cache_hits,
+        refined.frontier.len()
+    );
+    let best = refined.frontier.sorted_by_latency()[0];
+    println!(
+        "fastest frontier design: {:.1} µs ({:.1}× the paper point) at {:.2} mJ/frame\n",
+        1e6 * best.point.latency_s,
+        paper_total_us / (1e6 * best.point.latency_s),
+        1e3 * best.point.energy_j,
+    );
 
-    println!("== scan-order ablation (simulation, conv2) ==");
-    let conv2 = layers[1].1;
-    for (label, scan) in [
-        ("row-major", ScanOrder::RowMajor),
-        ("serpentine", ScanOrder::Serpentine),
-    ] {
-        let accel = Pcnna::new(PcnnaConfig::default().with_scan(scan)).expect("valid config");
-        let r = &accel
-            .simulate_conv_layers(&[("conv2", conv2)])
-            .expect("fits")[0];
+    // -- 3. close the loop: which *fleet* should we build? -------------
+    let rows = co_design(
+        &refined.frontier,
+        &[
+            NetworkClass::alexnet(0.004, 1.0),
+            NetworkClass::lenet5(0.0005, 3.0),
+        ],
+        &CodesignConfig {
+            top_k: 3,
+            fleet_size: 4,
+            arrival: ArrivalProcess::Poisson { rate_rps: 10_000.0 },
+            horizon_s: 0.2,
+            ..CodesignConfig::default()
+        },
+    )
+    .expect("frontier is non-empty");
+    println!("fleet co-design (4 instances, 10 000 req/s AlexNet+LeNet):");
+    for r in &rows {
         println!(
-            "{label:<10}: sim {} | {} input loads | hit rate {:.1}%",
-            r.total_time,
-            r.total_input_loads,
-            100.0 * r.cache.hit_rate()
+            "  {:<18} SLO {:>6.2}%  {:>6.1} W  {:>8.4} SLO%/W  p99 {:.3} ms",
+            r.label,
+            100.0 * r.slo_attainment,
+            r.mean_power_w,
+            100.0 * r.slo_per_watt,
+            r.p99_ms
         );
     }
+    println!("\nbest fleet: {}", rows[0].label);
 }

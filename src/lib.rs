@@ -22,6 +22,11 @@
 //!   heterogeneous PCNNA fleets, and the serving figures of merit —
 //!   p50/p95/p99/p999 latency, throughput, SLO attainment, utilization,
 //!   energy per request.
+//! * [`dse`] — parallel multi-objective design-space exploration:
+//!   enumerable knob spaces over `PcnnaConfig` × `SpectralBudget`,
+//!   latency/energy/area/SNR-headroom objectives, an incremental Pareto
+//!   frontier with a memoized evaluation cache, seeded grid/evolutionary
+//!   search, and fleet co-design ranked by SLO attainment per watt.
 //!
 //! ## Quickstart
 //!
@@ -75,6 +80,7 @@
 pub use pcnna_baselines as baselines;
 pub use pcnna_cnn as cnn;
 pub use pcnna_core as core;
+pub use pcnna_dse as dse;
 pub use pcnna_electronics as electronics;
 pub use pcnna_fleet as fleet;
 pub use pcnna_photonics as photonics;

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcnna_cnn::geometry::ConvGeometry;
-use pcnna_cnn::reference::{conv2d_direct, conv2d_im2col};
+use pcnna_cnn::reference::{conv2d_direct, conv2d_im2col, conv2d_im2col_scratch, ConvScratch};
 use pcnna_cnn::winograd::{conv2d_winograd, supports};
 use pcnna_cnn::workload::Workload;
 
@@ -25,6 +25,16 @@ fn bench_conv_reference(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("im2col", name), &g, |b, g| {
             b.iter(|| conv2d_im2col(g, &wl.input, &wl.kernels).unwrap())
+        });
+        // The electronic-baseline steady state: warm caller-provided
+        // scratch, blocked GEMM, zero allocation per convolution.
+        group.bench_with_input(BenchmarkId::new("im2col_scratch", name), &g, |b, g| {
+            let mut scratch = ConvScratch::new();
+            conv2d_im2col_scratch(g, &wl.input, &wl.kernels, &mut scratch).unwrap();
+            b.iter(|| {
+                conv2d_im2col_scratch(g, &wl.input, &wl.kernels, &mut scratch).unwrap();
+                scratch.output().len()
+            })
         });
         if supports(&g) {
             group.bench_with_input(BenchmarkId::new("winograd", name), &g, |b, g| {

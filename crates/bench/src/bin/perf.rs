@@ -1,0 +1,209 @@
+//! Perf-trajectory harness: pins the workspace's three hot paths to fixed
+//! workloads, times them, and emits `BENCH_perf.json` — the machine-readable
+//! record every perf-minded PR appends to (see `PERF.md` for the protocol).
+//!
+//! Run with `cargo run --release --bin perf -- --quick` (CI smoke) or with
+//! no flag for the full-length run. `--check` additionally compares the
+//! fresh numbers against the frozen `BASELINE_*` constants below (the
+//! same numbers every emitted `BENCH_perf.json` records in its
+//! `baseline` field) and exits nonzero on a >30% regression of any hot
+//! path.
+//!
+//! The three hot paths:
+//!
+//! * **fleet** — one `FleetScenario::simulate` call (50k req/s Poisson,
+//!   mixed AlexNet+LeNet traffic, 4 instances, network affinity), scored
+//!   as simulated requests completed per wall-clock second.
+//! * **dse** — a single-threaded AlexNet grid sweep over the full
+//!   3 888-point `DesignSpace`, scored as candidate evaluations per second
+//!   (single-threaded so the number tracks the evaluator, not the box's
+//!   core count).
+//! * **conv** — the blocked im2col/GEMM reference kernel on an
+//!   AlexNet-conv3-shaped layer, scored in GFLOP/s.
+
+use pcnna_cnn::geometry::ConvGeometry;
+use pcnna_cnn::reference;
+use pcnna_cnn::workload::Workload;
+use pcnna_core::PcnnaConfig;
+use pcnna_dse::prelude::*;
+use pcnna_fleet::prelude::*;
+use std::time::Instant;
+
+/// Pre-PR hot-path numbers, measured with this same harness (quick mode,
+/// three runs averaged) against the code as it stood before the
+/// allocation-free rework: per-class latency `Vec`s + report-time sort in
+/// the fleet engine, Debug-rendering fingerprints + per-layer model
+/// rebuilds in the dse evaluator, and the unblocked single-row im2col
+/// GEMM. Frozen when the measurement harness landed; see `PERF.md`
+/// before editing.
+const BASELINE_FLEET_REQ_PER_S: f64 = 6_650_000.0;
+const BASELINE_DSE_EVALS_PER_S: f64 = 44_400.0;
+const BASELINE_CONV_GFLOP_S: f64 = 11.1;
+
+struct Measurement {
+    fleet_req_per_s: f64,
+    fleet_completed: u64,
+    dse_evals_per_s: f64,
+    dse_evaluated: u64,
+    conv_gflop_s: f64,
+}
+
+fn fleet_scenario(horizon_s: f64) -> FleetScenario {
+    FleetScenario {
+        classes: vec![
+            NetworkClass::lenet5(0.005, 2.0),
+            NetworkClass::alexnet(0.050, 1.0),
+        ],
+        arrival: ArrivalProcess::Poisson { rate_rps: 50_000.0 },
+        policy: Policy::NetworkAffinity,
+        instances: vec![PcnnaConfig::default(); 4],
+        horizon_s,
+        queue_capacity: 1_000_000,
+        ..FleetScenario::default()
+    }
+}
+
+/// Times `f` (which returns the work it did, in events) `segments` times
+/// and reports the **best** events/second segment. Best-of-N is the
+/// standard de-noising for shared machines: co-tenant interference only
+/// ever slows a segment down, so the fastest segment is the closest
+/// estimate of what the code can actually do.
+fn best_rate(segments: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
+    let mut best = 0.0f64;
+    let mut total_work = 0u64;
+    for _ in 0..segments {
+        let t0 = Instant::now();
+        let work = f();
+        let dt = t0.elapsed().as_secs_f64();
+        total_work += work;
+        if dt > 0.0 {
+            best = best.max(work as f64 / dt);
+        }
+    }
+    (best, total_work)
+}
+
+fn measure(quick: bool) -> Measurement {
+    let segments = if quick { 3 } else { 5 };
+
+    // --- fleet ------------------------------------------------------
+    let scenario = fleet_scenario(if quick { 1.0 } else { 4.0 });
+    scenario.simulate().expect("valid scenario"); // warm-up
+    let (fleet_req_per_s, fleet_completed) = best_rate(segments, || {
+        scenario.simulate().expect("valid scenario").completed
+    });
+
+    // --- dse --------------------------------------------------------
+    let space = DesignSpace::default();
+    let ev = Evaluator::alexnet();
+    let (dse_evals_per_s, dse_evaluated) = best_rate(segments, || {
+        grid_sweep(&space, &ev, 1)
+            .expect("valid space")
+            .stats
+            .evaluated
+    });
+
+    // --- conv -------------------------------------------------------
+    // AlexNet conv3 shape: 13×13 input, 3×3 kernels, 256→384 maps.
+    let g = ConvGeometry::new(13, 3, 1, 1, 256, 384).expect("valid geometry");
+    let wl = Workload::gaussian(&g, 7);
+    let o = g.output_side();
+    let flops = 2.0 * (g.kernels() * g.n_kernel() as usize * o * o) as f64;
+    let conv_reps = if quick { 5 } else { 10 };
+    let mut scratch = reference::ConvScratch::new();
+    reference::conv2d_im2col_scratch(&g, &wl.input, &wl.kernels, &mut scratch).unwrap(); // warm-up
+    let (conv_flop_s, _) = best_rate(segments, || {
+        for _ in 0..conv_reps {
+            reference::conv2d_im2col_scratch(&g, &wl.input, &wl.kernels, &mut scratch).unwrap();
+            std::hint::black_box(scratch.output());
+        }
+        (flops * conv_reps as f64) as u64
+    });
+
+    Measurement {
+        fleet_req_per_s,
+        fleet_completed,
+        dse_evals_per_s,
+        dse_evaluated,
+        conv_gflop_s: conv_flop_s / 1e9,
+    }
+}
+
+/// Peak resident set size, bytes, from `/proc/self/status` (`VmHWM`).
+/// Returns 0 where procfs is unavailable (non-Linux).
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|kb| kb.parse::<u64>().ok())
+            })
+        })
+        .map_or(0, |kb| kb * 1024)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+
+    let m = measure(quick);
+    let rss = peak_rss_bytes();
+
+    println!(
+        "fleet: {:.0} simulated req/s ({} completed)",
+        m.fleet_req_per_s, m.fleet_completed
+    );
+    println!(
+        "dse:   {:.0} evals/s ({} evaluated, 1 thread)",
+        m.dse_evals_per_s, m.dse_evaluated
+    );
+    println!("conv:  {:.2} GFLOP/s (blocked im2col)", m.conv_gflop_s);
+    println!("peak RSS: {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
+
+    let json = format!(
+        "{{\"bench\":\"perf\",\"mode\":\"{}\",\
+         \"fleet_req_per_s\":{:.0},\"dse_evals_per_s\":{:.0},\
+         \"conv_gflop_s\":{:.3},\"peak_rss_bytes\":{},\
+         \"baseline\":{{\"fleet_req_per_s\":{:.0},\"dse_evals_per_s\":{:.0},\
+         \"conv_gflop_s\":{:.3}}},\
+         \"speedup\":{{\"fleet\":{:.2},\"dse\":{:.2},\"conv\":{:.2}}}}}\n",
+        if quick { "quick" } else { "full" },
+        m.fleet_req_per_s,
+        m.dse_evals_per_s,
+        m.conv_gflop_s,
+        rss,
+        BASELINE_FLEET_REQ_PER_S,
+        BASELINE_DSE_EVALS_PER_S,
+        BASELINE_CONV_GFLOP_S,
+        m.fleet_req_per_s / BASELINE_FLEET_REQ_PER_S.max(1e-9),
+        m.dse_evals_per_s / BASELINE_DSE_EVALS_PER_S.max(1e-9),
+        m.conv_gflop_s / BASELINE_CONV_GFLOP_S.max(1e-9),
+    );
+    match std::fs::write("BENCH_perf.json", &json) {
+        Ok(()) => println!("wrote BENCH_perf.json"),
+        Err(e) => eprintln!("could not write BENCH_perf.json: {e}"),
+    }
+
+    if check {
+        let mut failed = false;
+        for (label, fresh, floor) in [
+            ("fleet", m.fleet_req_per_s, BASELINE_FLEET_REQ_PER_S),
+            ("dse", m.dse_evals_per_s, BASELINE_DSE_EVALS_PER_S),
+            ("conv", m.conv_gflop_s, BASELINE_CONV_GFLOP_S),
+        ] {
+            // The gate: no hot path may fall below 70% of the checked-in
+            // baseline (the pre-PR numbers this PR's speedups are vs).
+            if fresh < 0.70 * floor {
+                eprintln!("REGRESSION: {label} at {fresh:.0} < 70% of baseline {floor:.0}");
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("perf check passed (all hot paths within 30% of baseline)");
+    }
+}

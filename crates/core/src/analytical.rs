@@ -172,14 +172,23 @@ impl AnalyticalModel {
         }
     }
 
-    /// Full analysis of one layer.
+    /// Full-system execution time of one layer — the lean path for search
+    /// hot loops (the design-space explorer evaluates thousands of
+    /// candidates per second): the same SRAM feasibility check and timing
+    /// arithmetic as [`layer_timing`](Self::layer_timing), with no name
+    /// interning, no per-stage breakdown, and no allocation.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::ResourceExceeded`] if the layer's working set
-    /// exceeds the input SRAM (the paper sizes the cache to hold a full
-    /// receptive field).
-    pub fn layer_timing(&self, name: &str, g: &ConvGeometry) -> Result<LayerTiming> {
+    /// exceeds the input SRAM.
+    pub fn layer_full_system_time(&self, g: &ConvGeometry) -> Result<SimTime> {
+        self.full_system_with_stage(g).map(|(full, _)| full)
+    }
+
+    /// The shared SRAM-check + timing arithmetic behind both the lean and
+    /// the reporting per-layer paths.
+    fn full_system_with_stage(&self, g: &ConvGeometry) -> Result<(SimTime, &'static str)> {
         let working_set = g.n_kernel();
         let capacity = self.config.sram.capacity_words();
         if working_set > capacity {
@@ -189,13 +198,25 @@ impl AnalyticalModel {
                 available: capacity,
             });
         }
-        let alloc = RingAllocation::for_layer(g, self.config.allocation);
         let (per_loc, stage) = self.full_system_per_location(g);
         let mut full = per_loc.saturating_mul(g.n_locations());
-        let weight_load = self.weight_load_time(g);
         if self.config.include_weight_load {
-            full += weight_load;
+            full += self.weight_load_time(g);
         }
+        Ok((full, stage))
+    }
+
+    /// Full analysis of one layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ResourceExceeded`] if the layer's working set
+    /// exceeds the input SRAM (the paper sizes the cache to hold a full
+    /// receptive field).
+    pub fn layer_timing(&self, name: &str, g: &ConvGeometry) -> Result<LayerTiming> {
+        let (full, stage) = self.full_system_with_stage(g)?;
+        let alloc = RingAllocation::for_layer(g, self.config.allocation);
+        let weight_load = self.weight_load_time(g);
         let area = AreaModel {
             ring_pitch_m: self.config.ring_pitch_m,
         };

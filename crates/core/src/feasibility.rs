@@ -131,6 +131,19 @@ pub struct LayerFeasibility {
     pub ring_area_mm2: f64,
 }
 
+/// The lean per-layer spectral verdict — just the fields search hot loops
+/// consume, `Copy`, no name interning, no allocation. See
+/// [`FeasibilityModel::layer_spectrum`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerSpectrum {
+    /// Optical time corrected for spectral partitioning.
+    pub corrected_optical_time: SimTime,
+    /// Sequential spectral passes needed: `ceil(required / usable)`.
+    pub spectral_passes: u64,
+    /// Ring area at the configured pitch, mm².
+    pub ring_area_mm2: f64,
+}
+
 /// Analyses layers against the spectral budgets.
 #[derive(Debug, Clone)]
 pub struct FeasibilityModel {
@@ -155,17 +168,18 @@ impl FeasibilityModel {
         &self.budget
     }
 
-    /// Feasibility of one layer.
+    /// The lean spectral verdict of one layer — the search hot-loop
+    /// counterpart of [`layer`](Self::layer): identical arithmetic, only
+    /// the fields the design-space objectives consume, and no allocation.
     #[must_use]
-    pub fn layer(&self, name: &str, g: &ConvGeometry) -> LayerFeasibility {
-        let alloc = RingAllocation::for_layer(g, self.config.allocation);
-        let required = alloc.wavelengths;
-        let usable = self.budget.usable_channels();
-        let spectral_passes = required.div_ceil(usable);
-        let paper_optical = self
-            .config
-            .fast_clock
-            .cycles(g.n_locations() * alloc.passes_per_location);
+    pub fn layer_spectrum(&self, g: &ConvGeometry) -> LayerSpectrum {
+        self.layer_spectrum_with(g, &RingAllocation::for_layer(g, self.config.allocation))
+    }
+
+    /// [`layer_spectrum`](Self::layer_spectrum) with a caller-computed
+    /// ring allocation (so [`layer`](Self::layer) computes it once).
+    fn layer_spectrum_with(&self, g: &ConvGeometry, alloc: &RingAllocation) -> LayerSpectrum {
+        let spectral_passes = alloc.wavelengths.div_ceil(self.budget.usable_channels());
         let corrected = self
             .config
             .fast_clock
@@ -173,6 +187,26 @@ impl FeasibilityModel {
         let area = AreaModel {
             ring_pitch_m: self.config.ring_pitch_m,
         };
+        LayerSpectrum {
+            corrected_optical_time: corrected,
+            spectral_passes,
+            ring_area_mm2: area.rings_area_mm2(alloc.rings),
+        }
+    }
+
+    /// Feasibility of one layer.
+    #[must_use]
+    pub fn layer(&self, name: &str, g: &ConvGeometry) -> LayerFeasibility {
+        let alloc = RingAllocation::for_layer(g, self.config.allocation);
+        let required = alloc.wavelengths;
+        let usable = self.budget.usable_channels();
+        let lean = self.layer_spectrum_with(g, &alloc);
+        let spectral_passes = lean.spectral_passes;
+        let paper_optical = self
+            .config
+            .fast_clock
+            .cycles(g.n_locations() * alloc.passes_per_location);
+        let corrected = lean.corrected_optical_time;
         LayerFeasibility {
             name: name.to_owned(),
             wavelengths_required: required,
@@ -184,7 +218,7 @@ impl FeasibilityModel {
             paper_optical_time: paper_optical,
             corrected_optical_time: corrected,
             rings: alloc.rings,
-            ring_area_mm2: area.rings_area_mm2(alloc.rings),
+            ring_area_mm2: lean.ring_area_mm2,
         }
     }
 

@@ -118,13 +118,34 @@ impl PowerModel {
         dacs + adcs + sram
     }
 
-    /// Full per-layer power/energy analysis.
-    ///
-    /// # Errors
-    ///
-    /// Propagates resource failures from the analytical model.
-    pub fn layer_power(&self, name: &str, g: &ConvGeometry) -> Result<LayerPower> {
-        let analytical = AnalyticalModel::new(self.config)?;
+    /// Energy of one execution of a layer priced at `exec_seconds` — the
+    /// lean path for search hot loops: the same four energy terms as the
+    /// [`LayerPower`] ledger (converters, DRAM traffic, photonics), with
+    /// no name interning, no ledger struct, and no allocation. The caller
+    /// supplies the execution time (typically
+    /// [`AnalyticalModel::layer_full_system_time`]) so the analytical
+    /// model is built once per network, not once per layer.
+    #[must_use]
+    pub fn layer_energy_j(&self, g: &ConvGeometry, exec_seconds: f64) -> f64 {
+        let photonic = self.photonic_budget(g);
+        let dac_j = self.config.input_dac.power_w
+            * (self.config.n_input_dacs + self.config.n_weight_dacs) as f64
+            * exec_seconds;
+        let adc_j = self.config.adc.power_w * self.config.n_adcs as f64 * exec_seconds;
+        let dram_j = self.config.dram.transfer_energy_j(
+            (g.n_input() + g.weight_count() + g.n_output()) * self.config.bytes_per_value,
+        );
+        dac_j + adc_j + dram_j + photonic.energy_j(exec_seconds)
+    }
+
+    /// Full per-layer power/energy analysis with a caller-provided
+    /// analytical model (avoids rebuilding it per layer).
+    fn layer_power_with(
+        &self,
+        analytical: &AnalyticalModel,
+        name: &str,
+        g: &ConvGeometry,
+    ) -> Result<LayerPower> {
         let timing = analytical.layer_timing(name, g)?;
         let photonic = self.photonic_budget(g);
         let electronic_w = self.electronic_power_w(g);
@@ -157,15 +178,27 @@ impl PowerModel {
         })
     }
 
-    /// Power analysis over a list of layers.
+    /// Full per-layer power/energy analysis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resource failures from the analytical model.
+    pub fn layer_power(&self, name: &str, g: &ConvGeometry) -> Result<LayerPower> {
+        let analytical = AnalyticalModel::new(self.config)?;
+        self.layer_power_with(&analytical, name, g)
+    }
+
+    /// Power analysis over a list of layers (the analytical model behind
+    /// the execution times is built once, not once per layer).
     ///
     /// # Errors
     ///
     /// Propagates the first per-layer failure.
     pub fn network_power(&self, layers: &[(&str, ConvGeometry)]) -> Result<Vec<LayerPower>> {
+        let analytical = AnalyticalModel::new(self.config)?;
         layers
             .iter()
-            .map(|(name, g)| self.layer_power(name, g))
+            .map(|(name, g)| self.layer_power_with(&analytical, name, g))
             .collect()
     }
 }
@@ -228,6 +261,22 @@ mod tests {
             "macs/J = {:.3e} unexpectedly poor",
             p.macs_per_joule
         );
+    }
+
+    #[test]
+    fn lean_layer_energy_matches_the_ledger() {
+        // The allocation-free search path and the reporting ledger must
+        // never drift apart.
+        let m = model();
+        for (name, g) in zoo::alexnet_conv_layers() {
+            let p = m.layer_power(name, &g).unwrap();
+            let lean = m.layer_energy_j(&g, p.exec_seconds);
+            let total = p.energy.total_j();
+            assert!(
+                (lean - total).abs() <= 1e-12 * total,
+                "{name}: lean {lean} vs ledger {total}"
+            );
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //!   return bit-identical verdicts without re-running the models.
 //! * [`search`] — exhaustive [`grid_sweep`] and the seeded [`evolve`]
 //!   evolutionary search, both fanning evaluations across threads via
-//!   `pcnna_fleet::par::par_map`.
+//!   `pcnna_fleet::par::par_map_slice`.
 //! * [`codesign`] — [`co_design`]: fields the top frontier designs as
 //!   serving fleets (uniform and mixed), replays traffic through the
 //!   `pcnna-fleet` engine, and ranks them by SLO attainment per watt.

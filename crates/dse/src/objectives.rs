@@ -206,42 +206,62 @@ impl Evaluator {
     /// [`DseError::NonFiniteObjective`] if a model produces a non-finite
     /// objective value.
     pub fn evaluate_detailed(&self, candidate: &Candidate) -> Result<DesignPoint> {
+        self.evaluate_detailed_with(candidate, candidate.fingerprint())
+    }
+
+    /// [`evaluate_detailed`](Self::evaluate_detailed) with a
+    /// caller-computed fingerprint, so search loops that already keyed
+    /// their cache by the fingerprint do not hash the candidate twice.
+    ///
+    /// The body is the workspace's hottest analysis loop (a grid sweep
+    /// runs it thousands of times per second), so it goes through the
+    /// core models' lean per-layer entry points
+    /// ([`AnalyticalModel::layer_full_system_time`],
+    /// [`FeasibilityModel::layer_spectrum`],
+    /// [`PowerModel::layer_energy_j`]) and iterates the evaluator's
+    /// stored geometry directly: layer names were interned once at
+    /// construction and no per-candidate map, vector, or string is built.
+    ///
+    /// # Errors
+    ///
+    /// As [`evaluate_detailed`](Self::evaluate_detailed).
+    pub fn evaluate_detailed_with(
+        &self,
+        candidate: &Candidate,
+        fingerprint: u64,
+    ) -> Result<DesignPoint> {
         // Score every candidate under the same link/knob coupling,
         // whether it came from `DesignSpace::assemble` (already
         // harmonized — this is idempotent) or was built by hand. The
         // verdict keeps the *caller's* fingerprint so it stays consistent
         // with the cache key the search computed before evaluating.
-        let fingerprint = candidate.fingerprint();
         let candidate = candidate.harmonized();
         let config = &candidate.config;
         let analytical = AnalyticalModel::new(*config).map_err(DseError::Core)?;
         let feasibility =
             FeasibilityModel::new(*config, candidate.budget).map_err(DseError::Core)?;
         let power = PowerModel::new(*config, self.assumptions).map_err(DseError::Core)?;
-        let layers = self.layer_refs();
 
         let mut latency_s = 0.0f64;
+        let mut energy_j = 0.0f64;
         let mut spectral_passes = 0u64;
         let mut ring_area_mm2 = 0.0f64;
         let mut spectrally_bound = false;
-        for (name, g) in &layers {
-            let timing = analytical.layer_timing(name, g).map_err(DseError::Core)?;
-            let feas = feasibility.layer(name, g);
+        for (_, g) in &self.layers {
+            let full = analytical
+                .layer_full_system_time(g)
+                .map_err(DseError::Core)?;
+            let spectrum = feasibility.layer_spectrum(g);
             // The layer finishes when both the electronic pipeline and the
             // spectrally-partitioned optical core have: take the later.
-            let electronic_s = timing.full_system_time.as_secs_f64();
-            let optical_s = feas.corrected_optical_time.as_secs_f64();
+            let electronic_s = full.as_secs_f64();
+            let optical_s = spectrum.corrected_optical_time.as_secs_f64();
             latency_s += electronic_s.max(optical_s);
             spectrally_bound |= optical_s > electronic_s;
-            spectral_passes += feas.spectral_passes;
-            ring_area_mm2 = ring_area_mm2.max(feas.ring_area_mm2);
+            spectral_passes += spectrum.spectral_passes;
+            ring_area_mm2 = ring_area_mm2.max(spectrum.ring_area_mm2);
+            energy_j += power.layer_energy_j(g, electronic_s);
         }
-        let energy_j: f64 = power
-            .network_power(&layers)
-            .map_err(DseError::Core)?
-            .iter()
-            .map(|lp| lp.energy.total_j())
-            .sum();
 
         // Full-scale link SNR is per-channel; one carrier and one bank
         // suffice to price it at this candidate's detection bandwidth.
@@ -297,6 +317,18 @@ impl Evaluator {
     #[must_use]
     pub fn evaluate(&self, candidate: &Candidate) -> Option<DesignPoint> {
         self.evaluate_detailed(candidate).ok()
+    }
+
+    /// [`evaluate`](Self::evaluate) with a caller-computed fingerprint
+    /// (the search hot path — avoids re-hashing candidates whose
+    /// fingerprint the cache lookup already paid for).
+    #[must_use]
+    pub fn evaluate_with_fingerprint(
+        &self,
+        candidate: &Candidate,
+        fingerprint: u64,
+    ) -> Option<DesignPoint> {
+        self.evaluate_detailed_with(candidate, fingerprint).ok()
     }
 }
 

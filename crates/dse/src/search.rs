@@ -1,9 +1,10 @@
 //! Search drivers: exhaustive grid sweep and seeded evolutionary search.
 //!
 //! Both drivers evaluate candidates **in parallel** via
-//! [`pcnna_fleet::par::par_map`] (an ordered, order-preserving thread
-//! map), fold the results into a [`ParetoFrontier`] **sequentially in
-//! input order**, and memoize every verdict in an [`EvalCache`]. Because
+//! [`pcnna_fleet::par::par_map_slice`] (an ordered, order-preserving
+//! thread map over warm reusable batch buffers), fold the results into a
+//! [`ParetoFrontier`] **sequentially in input order**, and memoize every
+//! verdict in an [`EvalCache`]. Because
 //! the fold order is deterministic and all randomness flows from one
 //! seeded [`StdRng`], repeated runs with the same seed produce identical
 //! frontiers — across thread counts, too, since threading only changes
@@ -14,7 +15,7 @@ use crate::objectives::Evaluator;
 use crate::pareto::ParetoFrontier;
 use crate::space::{Candidate, DesignSpace, KnobChoice};
 use crate::{DseError, Result};
-use pcnna_fleet::par::par_map;
+use pcnna_fleet::par::par_map_slice;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -50,29 +51,41 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Evaluates a batch of candidates through the cache: repeats (cached or
-/// within-batch) are answered from memory, fresh designs fan out across
-/// `threads`, and every verdict folds into `frontier` in batch order.
+/// Reusable buffers for [`run_batch`]: an iterated search (the
+/// evolutionary driver calls `run_batch` once per generation) clears and
+/// refills these instead of reallocating the dedup set and the fresh-work
+/// vector every batch.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    seen: std::collections::HashSet<u64>,
+    fresh: Vec<(Candidate, u64)>,
+}
+
+/// Evaluates a batch of `(candidate, fingerprint)` pairs through the
+/// cache: repeats (cached or within-batch) are answered from memory,
+/// fresh designs fan out across `threads`, and every verdict folds into
+/// `frontier` in batch order. Fingerprints are computed once by the
+/// caller and threaded through to the evaluator.
 fn run_batch(
-    candidates: &[Candidate],
+    candidates: &[(Candidate, u64)],
     evaluator: &Evaluator,
     threads: usize,
+    scratch: &mut BatchScratch,
     cache: &mut EvalCache,
     frontier: &mut ParetoFrontier,
     stats: &mut SearchStats,
 ) {
-    let mut batch_seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
-    let mut fresh: Vec<(Candidate, u64)> = Vec::new();
-    for cand in candidates {
-        let fp = cand.fingerprint();
-        if cache.contains(fp) || !batch_seen.insert(fp) {
+    scratch.seen.clear();
+    scratch.fresh.clear();
+    for &(cand, fp) in candidates {
+        if cache.contains(fp) || !scratch.seen.insert(fp) {
             stats.cache_hits += 1;
         } else {
-            fresh.push((*cand, fp));
+            scratch.fresh.push((cand, fp));
         }
     }
-    let verdicts = par_map(fresh, threads, |(cand, fp)| {
-        (cand, fp, evaluator.evaluate(&cand))
+    let verdicts = par_map_slice(&scratch.fresh, threads, |(cand, fp)| {
+        (cand, fp, evaluator.evaluate_with_fingerprint(&cand, fp))
     });
     for (cand, fp, verdict) in verdicts {
         cache.insert(fp, verdict);
@@ -98,11 +111,15 @@ pub fn grid_sweep(
     threads: usize,
 ) -> Result<SearchOutcome> {
     space.validate()?;
-    let candidates: Vec<Candidate> = space
+    let candidates: Vec<(Candidate, u64)> = space
         .grid_choices()
         .into_iter()
-        .map(|c| space.assemble(c))
+        .map(|c| {
+            let cand = space.assemble(c);
+            (cand, cand.fingerprint())
+        })
         .collect();
+    let mut scratch = BatchScratch::default();
     let mut cache = EvalCache::new();
     let mut frontier = ParetoFrontier::new();
     let mut stats = SearchStats::default();
@@ -110,6 +127,7 @@ pub fn grid_sweep(
         &candidates,
         evaluator,
         threads,
+        &mut scratch,
         &mut cache,
         &mut frontier,
         &mut stats,
@@ -176,6 +194,7 @@ pub fn evolve(
     }
 
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0D5E_C0DE_0D5E_C0DE);
+    let mut scratch = BatchScratch::default();
     let mut cache = EvalCache::new();
     let mut frontier = ParetoFrontier::new();
     let mut stats = SearchStats::default();
@@ -183,35 +202,47 @@ pub fn evolve(
     // produced them, so remember each fingerprint's choice.
     let mut choice_of: HashMap<u64, KnobChoice> = HashMap::new();
     let mut parents: Vec<KnobChoice> = Vec::new();
+    // Generation buffers, warmed once and refilled per generation (the
+    // per-generation `collect()`s this replaces were the driver's only
+    // steady-state allocations).
+    let mut choices: Vec<KnobChoice> = Vec::with_capacity(config.population);
+    let mut candidates: Vec<(Candidate, u64)> = Vec::with_capacity(config.population);
 
     for generation in 0..config.generations {
-        let choices: Vec<KnobChoice> = (0..config.population)
-            .map(|_| {
+        choices.clear();
+        candidates.clear();
+        for _ in 0..config.population {
+            choices.push(
                 if generation == 0 || parents.is_empty() || rng.gen_bool(config.immigrant_rate) {
                     space.sample_choice(&mut rng)
                 } else {
                     let parent = parents[rng.gen_range(0..parents.len())];
                     space.mutate_choice(&mut rng, parent, config.mutation_rate)
-                }
-            })
-            .collect();
-        let candidates: Vec<Candidate> = choices.iter().map(|&c| space.assemble(c)).collect();
-        for (choice, cand) in choices.iter().zip(&candidates) {
-            choice_of.entry(cand.fingerprint()).or_insert(*choice);
+                },
+            );
+        }
+        for &choice in &choices {
+            let cand = space.assemble(choice);
+            let fp = cand.fingerprint();
+            candidates.push((cand, fp));
+            choice_of.entry(fp).or_insert(choice);
         }
         run_batch(
             &candidates,
             evaluator,
             config.threads,
+            &mut scratch,
             &mut cache,
             &mut frontier,
             &mut stats,
         );
-        parents = frontier
-            .entries()
-            .iter()
-            .map(|e| choice_of[&e.point.fingerprint])
-            .collect();
+        parents.clear();
+        parents.extend(
+            frontier
+                .entries()
+                .iter()
+                .map(|e| choice_of[&e.point.fingerprint]),
+        );
     }
 
     Ok(SearchOutcome { frontier, stats })

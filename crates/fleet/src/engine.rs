@@ -6,8 +6,11 @@
 //! can be heterogeneous (e.g. mixed DAC counts or clocks). Every
 //! (instance, class) pair is quoted once via [`pcnna_core::serving::quote`]
 //! and memoized; after setup the hot loop touches only the event heap, the
-//! queues, and those `Copy` quotes — no analytical model, no allocation
-//! beyond batch vectors.
+//! queues, those `Copy` quotes, and fixed-size latency histograms — no
+//! analytical model, and **zero heap allocation after warm-up**: in-flight
+//! batches live in a slab arena of reusable buffers indexed by `u32`
+//! handles, and per-class latency tails stream into log-binned
+//! [`LatencyHistogram`]s whose memory is constant in the request count.
 //!
 //! Dispatch is greedy: when an instance frees up (or a request arrives to
 //! an idle fleet), the scheduling policy picks a class, a batch of up to
@@ -22,9 +25,9 @@
 //! batch skips the `weight_load` phase (see the field's doc for the
 //! hardware assumption this encodes).
 
-use crate::metrics::{ClassReport, FleetReport, LatencySummary};
+use crate::metrics::{ClassReport, FleetReport, LatencyHistogram, LatencySummary};
 use crate::scheduler::{ClassQueues, Policy};
-use crate::workload::{ArrivalProcess, ArrivalSampler, NetworkClass, Request, TrafficMix};
+use crate::workload::{ArrivalProcess, ArrivalSampler, ClassSampler, NetworkClass, Request};
 use crate::{FleetError, Result};
 use pcnna_core::config::PcnnaConfig;
 use pcnna_core::power::PowerAssumptions;
@@ -151,9 +154,21 @@ impl FleetScenario {
     ///
     /// Returns scenario-validation or core quoting failures.
     pub fn simulate(&self) -> Result<FleetReport> {
+        self.simulate_seeded(self.seed)
+    }
+
+    /// [`simulate`](Self::simulate) with the scenario's seed overridden —
+    /// seed replication (`par::simulate_replicated`) runs many seeds of
+    /// one scenario, and this entry point spares it a deep clone of the
+    /// classes and instances per replica.
+    ///
+    /// # Errors
+    ///
+    /// As [`simulate`](Self::simulate).
+    pub fn simulate_seeded(&self, seed: u64) -> Result<FleetReport> {
         self.validate()?;
         let quotes = self.quote_table()?;
-        Ok(Engine::new(self, &quotes).run())
+        Ok(Engine::new(self, &quotes, seed).run())
     }
 }
 
@@ -187,17 +202,94 @@ impl Ord for EventTime {
     }
 }
 
-struct InFlight {
+/// One in-flight batch slot: the class served plus a reusable request
+/// buffer whose capacity survives release/acquire cycles.
+#[derive(Debug, Default)]
+struct InflightSlot {
     class: usize,
     requests: Vec<Request>,
 }
 
+/// Slab arena for in-flight batches, indexed by `u32` handles.
+///
+/// `acquire` pops a free slot (or grows the slab during warm-up); the
+/// slot's request buffer keeps its capacity across `release`, so once
+/// every instance has dispatched a full batch the event loop performs
+/// **zero heap allocation** — requests move queue → slot buffer → stats
+/// without a `Vec` ever being constructed per batch.
+#[derive(Debug, Default)]
+struct InflightArena {
+    slots: Vec<InflightSlot>,
+    free: Vec<u32>,
+}
+
+impl InflightArena {
+    /// Acquires a slot for a batch of `class`, reusing a freed slot's
+    /// warm buffer when one exists.
+    fn acquire(&mut self, class: usize) -> u32 {
+        if let Some(handle) = self.free.pop() {
+            let slot = &mut self.slots[handle as usize];
+            slot.class = class;
+            slot.requests.clear();
+            handle
+        } else {
+            let handle =
+                u32::try_from(self.slots.len()).expect("more than u32::MAX concurrent batches");
+            self.slots.push(InflightSlot {
+                class,
+                requests: Vec::new(),
+            });
+            handle
+        }
+    }
+
+    /// The class of an in-flight batch.
+    fn class(&self, handle: u32) -> usize {
+        self.slots[handle as usize].class
+    }
+
+    /// The request buffer of an in-flight batch.
+    fn requests(&self, handle: u32) -> &[Request] {
+        &self.slots[handle as usize].requests
+    }
+
+    /// Mutable request buffer (for filling at dispatch).
+    fn requests_mut(&mut self, handle: u32) -> &mut Vec<Request> {
+        &mut self.slots[handle as usize].requests
+    }
+
+    /// Returns a slot to the free list (its buffer keeps its capacity).
+    fn release(&mut self, handle: u32) {
+        self.free.push(handle);
+    }
+}
+
+/// One (instance, class) quote flattened to `f64` seconds/joules — the
+/// form the dispatch inner loop consumes. Converting `SimTime` per
+/// `service_seconds` call showed up in profiles; this is computed once
+/// per run.
+#[derive(Debug, Clone, Copy)]
+struct QuoteF {
+    weight_load_s: f64,
+    per_frame_s: f64,
+    weight_load_j: f64,
+    per_frame_j: f64,
+}
+
 struct Engine<'a> {
     scenario: &'a FleetScenario,
-    quotes: &'a QuoteTable,
+    // flattened `instances × classes` quote table (row-major by instance)
+    quotes_f: Vec<QuoteF>,
+    // per-class SLO, densely packed (the arrival hot path reads one per
+    // request; indexing the scattered `NetworkClass` structs cost a cache
+    // miss each)
+    slo_per_class: Vec<f64>,
+    n_classes: usize,
+    seed: u64,
     queues: ClassQueues,
-    // instance state
-    busy: Vec<Option<InFlight>>,
+    // instance state: handle of the in-flight batch, if any
+    busy: Vec<Option<u32>>,
+    inflight: InflightArena,
     // which class's MRR weights each instance currently holds — a
     // same-class follow-up batch skips the weight reprogramming phase
     loaded: Vec<Option<usize>>,
@@ -215,18 +307,35 @@ struct Engine<'a> {
     energy_j: f64,
     last_event_s: f64,
     admitted_per_class: Vec<u64>,
-    latencies_per_class: Vec<Vec<f64>>,
+    hist_per_class: Vec<LatencyHistogram>,
     on_time_per_class: Vec<u64>,
 }
 
 impl<'a> Engine<'a> {
-    fn new(scenario: &'a FleetScenario, quotes: &'a QuoteTable) -> Self {
+    fn new(scenario: &'a FleetScenario, quotes: &QuoteTable, seed: u64) -> Self {
         let n_classes = scenario.classes.len();
+        let quotes_f = (0..scenario.instances.len())
+            .flat_map(|i| {
+                (0..n_classes).map(move |c| {
+                    let q = quotes.get(i, c);
+                    QuoteF {
+                        weight_load_s: q.weight_load.as_secs_f64(),
+                        per_frame_s: q.per_frame.as_secs_f64(),
+                        weight_load_j: q.weight_load_energy_j,
+                        per_frame_j: q.per_frame_energy_j,
+                    }
+                })
+            })
+            .collect();
         Engine {
             scenario,
-            quotes,
+            quotes_f,
+            slo_per_class: scenario.classes.iter().map(|c| c.slo_s).collect(),
+            n_classes,
+            seed,
             queues: ClassQueues::new(n_classes),
             busy: (0..scenario.instances.len()).map(|_| None).collect(),
+            inflight: InflightArena::default(),
             loaded: vec![None; scenario.instances.len()],
             busy_time_s: vec![0.0; scenario.instances.len()],
             completions: BinaryHeap::new(),
@@ -240,15 +349,17 @@ impl<'a> Engine<'a> {
             energy_j: 0.0,
             last_event_s: 0.0,
             admitted_per_class: vec![0; n_classes],
-            latencies_per_class: vec![Vec::new(); n_classes],
+            hist_per_class: (0..n_classes).map(|_| LatencyHistogram::new()).collect(),
             on_time_per_class: vec![0; n_classes],
         }
     }
 
     fn run(mut self) -> FleetReport {
-        let mix = TrafficMix::new(self.scenario.classes.clone());
-        let mut sampler = ArrivalSampler::new(self.scenario.arrival, self.scenario.seed);
-        let mut class_rng = StdRng::seed_from_u64(self.scenario.seed ^ 0xC1A5_55E5);
+        // Borrow the classes — cloning them (the old per-run `TrafficMix`)
+        // deep-copied every layer stack on every `simulate()` call.
+        let mix = ClassSampler::new(&self.scenario.classes);
+        let mut sampler = ArrivalSampler::new(self.scenario.arrival, self.seed);
+        let mut class_rng = StdRng::seed_from_u64(self.seed ^ 0xC1A5_55E5);
         let mut next_id: u64 = 0;
         let horizon_s = self.scenario.horizon_s;
         let mut sample_arrival = move || Some(sampler.next_arrival_s()).filter(|&t| t < horizon_s);
@@ -260,12 +371,12 @@ impl<'a> Engine<'a> {
                 (Some(ta), tc) if tc.is_none_or(|tc| ta <= tc) => {
                     // Arrival event.
                     self.offered += 1;
-                    let class = mix.sample_class(&mut class_rng);
+                    let class = mix.sample(&mut class_rng);
                     let req = Request {
                         id: next_id,
                         class,
                         arrival_s: ta,
-                        deadline_s: ta + self.scenario.classes[class].slo_s,
+                        deadline_s: ta + self.slo_per_class[class],
                     };
                     next_id += 1;
                     if self.queues.len() < self.scenario.queue_capacity {
@@ -286,15 +397,17 @@ impl<'a> Engine<'a> {
                     // loop exit, so the heap is non-empty here).
                     let Reverse((t, instance)) = self.completions.pop().expect("peeked");
                     let tc = t.0;
-                    let inflight = self.busy[instance].take().expect("completion on idle");
-                    for r in &inflight.requests {
+                    let handle = self.busy[instance].take().expect("completion on idle");
+                    let class = self.inflight.class(handle);
+                    for r in self.inflight.requests(handle) {
                         let latency = tc - r.arrival_s;
-                        self.latencies_per_class[inflight.class].push(latency);
+                        self.hist_per_class[class].record(latency);
                         if tc <= r.deadline_s {
-                            self.on_time_per_class[inflight.class] += 1;
+                            self.on_time_per_class[class] += 1;
                         }
                         self.completed += 1;
                     }
+                    self.inflight.release(handle);
                     self.last_event_s = self.last_event_s.max(tc);
                     self.dispatch_idle(tc);
                 }
@@ -314,24 +427,24 @@ impl<'a> Engine<'a> {
     /// Service time of a batch of `n` on `instance`, accounting for the
     /// weights it already holds.
     fn service_seconds(&self, instance: usize, class: usize, n: u64) -> f64 {
-        let q = self.quotes.get(instance, class);
+        let q = &self.quotes_f[instance * self.n_classes + class];
         let reload = if self.skips_reload(instance, class) {
             0.0
         } else {
-            q.weight_load.as_secs_f64()
+            q.weight_load_s
         };
-        reload + q.per_frame.as_secs_f64() * n as f64
+        reload + q.per_frame_s * n as f64
     }
 
     /// Energy of a batch of `n` on `instance` (reload-aware, like time).
     fn service_energy_j(&self, instance: usize, class: usize, n: u64) -> f64 {
-        let q = self.quotes.get(instance, class);
+        let q = &self.quotes_f[instance * self.n_classes + class];
         let reload = if self.skips_reload(instance, class) {
             0.0
         } else {
-            q.weight_load_energy_j
+            q.weight_load_j
         };
-        reload + q.per_frame_energy_j * n as f64
+        reload + q.per_frame_j * n as f64
     }
 
     /// The policy's (class, instance) choice for the next dispatch.
@@ -382,8 +495,13 @@ impl<'a> Engine<'a> {
             let Some((class, instance)) = self.choose() else {
                 break;
             };
-            let requests = self.queues.pop_batch(class, self.scenario.max_batch);
-            let n = requests.len() as u64;
+            let handle = self.inflight.acquire(class);
+            self.queues.pop_batch_into(
+                class,
+                self.scenario.max_batch,
+                self.inflight.requests_mut(handle),
+            );
+            let n = self.inflight.requests(handle).len() as u64;
             let service_s = self.service_seconds(instance, class, n);
             let done = now + service_s;
             self.energy_j += self.service_energy_j(instance, class, n);
@@ -393,7 +511,7 @@ impl<'a> Engine<'a> {
             if !self.skips_reload(instance, class) {
                 self.weight_reloads += 1;
             }
-            self.busy[instance] = Some(InFlight { class, requests });
+            self.busy[instance] = Some(handle);
             self.loaded[instance] = Some(class);
             self.completions.push(Reverse((EventTime(done), instance)));
         }
@@ -404,17 +522,20 @@ impl<'a> Engine<'a> {
         // is a legal run: every ratio below must degrade to 0, not NaN.
         let makespan_s = self.last_event_s;
         let safe_ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
-        let mut all: Vec<f64> = self.latencies_per_class.iter().flatten().copied().collect();
+        let mut all = LatencyHistogram::new();
+        for h in &self.hist_per_class {
+            all.merge(h);
+        }
         let on_time: u64 = self.on_time_per_class.iter().sum();
         let per_class = self
             .scenario
             .classes
             .iter()
-            .zip(self.latencies_per_class)
+            .zip(&self.hist_per_class)
             .zip(self.on_time_per_class.iter())
             .zip(self.admitted_per_class.iter())
-            .map(|(((class, mut lats), &on_time), &admitted)| {
-                let completed = lats.len() as u64;
+            .map(|(((class, hist), &on_time), &admitted)| {
+                let completed = hist.count();
                 ClassReport {
                     name: class.name.clone(),
                     admitted,
@@ -424,7 +545,7 @@ impl<'a> Engine<'a> {
                     } else {
                         0.0
                     },
-                    latency: LatencySummary::from_samples(&mut lats),
+                    latency: LatencySummary::from_histogram(hist),
                 }
             })
             .collect();
@@ -458,7 +579,7 @@ impl<'a> Engine<'a> {
             } else {
                 0.0
             },
-            latency: LatencySummary::from_samples(&mut all),
+            latency: LatencySummary::from_histogram(&all),
             per_class,
         }
     }

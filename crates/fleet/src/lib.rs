@@ -12,9 +12,11 @@
 //!
 //! * [`workload`] — arrival processes ([Poisson](workload::ArrivalProcess::Poisson),
 //!   bursty [MMPP](workload::ArrivalProcess::Mmpp), sinusoidal
-//!   [diurnal](workload::ArrivalProcess::Diurnal)) over a
-//!   [`TrafficMix`] of networks from `pcnna_cnn::zoo`,
-//!   each request tagged with its class's SLO deadline.
+//!   [diurnal](workload::ArrivalProcess::Diurnal)) over a weighted class
+//!   mix of networks from `pcnna_cnn::zoo` (the engine samples it through
+//!   the borrowed, allocation-free [`workload::ClassSampler`]; the owned
+//!   [`TrafficMix`] remains as the standalone mix description), each
+//!   request tagged with its class's SLO deadline.
 //! * [`scheduler`] — batching admission policies: FIFO, earliest-deadline-
 //!   first, and network-affinity batching that amortizes the MRR
 //!   weight-reprogramming cost across same-network batches.
@@ -118,8 +120,8 @@ pub type Result<T> = core::result::Result<T, FleetError>;
 /// One-stop imports for scenario construction.
 pub mod prelude {
     pub use crate::engine::FleetScenario;
-    pub use crate::metrics::{FleetReport, LatencySummary};
+    pub use crate::metrics::{FleetReport, LatencyHistogram, LatencySummary};
     pub use crate::par;
     pub use crate::scheduler::Policy;
-    pub use crate::workload::{ArrivalProcess, NetworkClass, TrafficMix};
+    pub use crate::workload::{ArrivalProcess, ClassSampler, NetworkClass, TrafficMix};
 }

@@ -50,9 +50,52 @@ where
         .collect()
 }
 
+/// Ordered parallel map over a slice of `Copy` items: like [`par_map`]
+/// but the caller keeps ownership of `items`, so an iterated search can
+/// refill one warm buffer per batch instead of building (and giving away)
+/// a fresh `Vec` every time.
+pub fn par_map_slice<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Copy + Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(|&item| f(item)).collect();
+    }
+
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    {
+        // Same static round-robin sharding as `par_map`: item i is owned
+        // by worker i % threads.
+        let mut shards: Vec<Vec<(T, &mut Option<U>)>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, (&item, slot)) in items.iter().zip(slots.iter_mut()).enumerate() {
+            shards[i % threads].push((item, slot));
+        }
+        std::thread::scope(|scope| {
+            for shard in shards {
+                scope.spawn(|| {
+                    for (item, slot) in shard {
+                        *slot = Some(f(item));
+                    }
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled every slot"))
+        .collect()
+}
+
 /// Runs `scenario` once per seed, in parallel, returning the reports in
-/// seed order. Quotes are recomputed per replica (they are cheap relative
-/// to a simulation run and this keeps replicas fully independent).
+/// seed order. Replicas share the borrowed scenario and override only the
+/// seed via [`FleetScenario::simulate_seeded`] — no per-replica deep copy
+/// of the classes' layer stacks. Quotes are recomputed per replica (they
+/// are cheap relative to a simulation run and this keeps replicas fully
+/// independent).
 ///
 /// # Errors
 ///
@@ -61,13 +104,8 @@ pub fn simulate_replicated(scenario: &FleetScenario, seeds: &[u64]) -> Result<Ve
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
-    let runs: Vec<Result<FleetReport>> = par_map(seeds.to_vec(), threads, |seed| {
-        FleetScenario {
-            seed,
-            ..scenario.clone()
-        }
-        .simulate()
-    });
+    let runs: Vec<Result<FleetReport>> =
+        par_map_slice(seeds, threads, |seed| scenario.simulate_seeded(seed));
     runs.into_iter().collect()
 }
 

@@ -99,9 +99,19 @@ impl ClassQueues {
 
     /// Pops up to `max_batch` requests of `class`, in arrival order.
     pub fn pop_batch(&mut self, class: usize, max_batch: u64) -> Vec<Request> {
+        let mut out = Vec::new();
+        self.pop_batch_into(class, max_batch, &mut out);
+        out
+    }
+
+    /// Pops up to `max_batch` requests of `class` into `out` (cleared
+    /// first), in arrival order. The engine's hot loop feeds this a warm
+    /// arena buffer, so steady-state dispatch allocates nothing.
+    pub fn pop_batch_into(&mut self, class: usize, max_batch: u64, out: &mut Vec<Request>) {
         let take = (max_batch as usize).min(self.queues[class].len());
         self.len -= take;
-        self.queues[class].drain(..take).collect()
+        out.clear();
+        out.extend(self.queues[class].drain(..take));
     }
 }
 

@@ -122,6 +122,46 @@ impl TrafficMix {
     }
 }
 
+/// Weighted class sampling over a *borrowed* class list.
+///
+/// The engine builds one of these per run from `&scenario.classes` — the
+/// per-run [`TrafficMix`] it replaces had to deep-copy every class's
+/// layer stack each `simulate()` call. Construction is O(classes) once;
+/// sampling is an allocation-free binary search per request.
+#[derive(Debug, Clone)]
+pub struct ClassSampler {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl ClassSampler {
+    /// Builds a sampler from the classes' weights.
+    #[must_use]
+    pub fn new(classes: &[NetworkClass]) -> Self {
+        let mut acc = 0.0;
+        let cumulative = classes
+            .iter()
+            .map(|c| {
+                acc += c.weight;
+                acc
+            })
+            .collect();
+        ClassSampler {
+            cumulative,
+            total: acc,
+        }
+    }
+
+    /// Draws a class index proportional to the weights (same convention
+    /// as [`TrafficMix::sample_class`]).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let x = rng.gen_range(0.0..self.total.max(f64::MIN_POSITIVE));
+        self.cumulative
+            .partition_point(|&c| c < x)
+            .min(self.cumulative.len().saturating_sub(1))
+    }
+}
+
 /// One inference request.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Request {
@@ -316,6 +356,13 @@ impl ArrivalSampler {
 
     /// The next arrival time, seconds (monotone increasing).
     pub fn next_arrival_s(&mut self) -> f64 {
+        // Homogeneous fast path: a Poisson process is its own thinning
+        // envelope (every candidate accepts), so skip the acceptance
+        // machinery on the per-request hot path.
+        if let ArrivalProcess::Poisson { rate_rps } = self.process {
+            self.t += exp_sample(&mut self.rng, rate_rps);
+            return self.t;
+        }
         let peak = self.process.peak_rate_rps();
         loop {
             self.t += exp_sample(&mut self.rng, peak);

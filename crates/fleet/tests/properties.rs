@@ -93,6 +93,113 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn histogram_quantiles_match_exact_sort(
+        samples in prop::collection::vec(1e-6f64..10.0, 1..1500),
+    ) {
+        // The engine's streaming histogram must agree with the exact
+        // sort-based summary within its documented 1% relative error on
+        // every reported quantile — and exactly on mean/min/max.
+        let mut hist = LatencyHistogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let mut sorted = samples.clone();
+        let exact = LatencySummary::from_samples(&mut sorted);
+        let approx = LatencySummary::from_histogram(&hist);
+        for (label, a, e) in [
+            ("p50", approx.p50_s, exact.p50_s),
+            ("p95", approx.p95_s, exact.p95_s),
+            ("p99", approx.p99_s, exact.p99_s),
+            ("p999", approx.p999_s, exact.p999_s),
+        ] {
+            prop_assert!(
+                (a - e).abs() <= 0.01 * e,
+                "{label}: histogram {a} vs exact {e}"
+            );
+        }
+        prop_assert!((approx.mean_s - exact.mean_s).abs() <= 1e-12 + 1e-9 * exact.mean_s);
+        prop_assert_eq!(approx.min_s, exact.min_s);
+        prop_assert_eq!(approx.max_s, exact.max_s);
+        // quantiles stay monotone and inside [min, max]
+        prop_assert!(approx.min_s <= approx.p50_s);
+        prop_assert!(approx.p50_s <= approx.p95_s);
+        prop_assert!(approx.p95_s <= approx.p99_s);
+        prop_assert!(approx.p99_s <= approx.p999_s);
+        prop_assert!(approx.p999_s <= approx.max_s);
+    }
+}
+
+#[test]
+fn histogram_handles_empty_and_single_sample_classes() {
+    // Empty: the PR 2 NaN-hardening contract — all-zero, finite summary.
+    let empty = LatencyHistogram::new();
+    let s = LatencySummary::from_histogram(&empty);
+    assert_eq!(s, LatencySummary::default());
+    for v in [
+        s.p50_s, s.p95_s, s.p99_s, s.p999_s, s.mean_s, s.min_s, s.max_s,
+    ] {
+        assert!(v.is_finite());
+        assert_eq!(v, 0.0);
+    }
+    // Single sample: every quantile is (within the error bound) that
+    // sample, and min/max/mean are exactly it.
+    let mut one = LatencyHistogram::new();
+    one.record(0.042);
+    let s = LatencySummary::from_histogram(&one);
+    assert_eq!(s.min_s, 0.042);
+    assert_eq!(s.max_s, 0.042);
+    assert_eq!(s.mean_s, 0.042);
+    for q in [s.p50_s, s.p999_s] {
+        assert!((q - 0.042).abs() <= 0.01 * 0.042, "{q}");
+    }
+}
+
+#[test]
+fn longer_runs_do_not_grow_report_memory() {
+    // The engine's latency state is O(1) in the request count: a
+    // 10×-longer run must produce a report with the identical footprint
+    // (same per-class/per-instance vector lengths), backed by histograms
+    // whose bin array never grows.
+    let scenario = |horizon_s: f64| FleetScenario {
+        classes: vec![
+            NetworkClass::lenet5(0.005, 2.0),
+            NetworkClass::alexnet(0.050, 1.0),
+        ],
+        arrival: ArrivalProcess::Poisson { rate_rps: 20_000.0 },
+        instances: vec![PcnnaConfig::default(); 2],
+        horizon_s,
+        queue_capacity: 1_000_000,
+        seed: 3,
+        ..FleetScenario::default()
+    };
+    let short = scenario(0.05).simulate().unwrap();
+    let long = scenario(0.5).simulate().unwrap();
+    assert!(
+        long.completed >= 9 * short.completed,
+        "10× run, 10× requests"
+    );
+    // identical report footprint: the report carries summaries, not
+    // samples, so its size is a function of the scenario shape only
+    assert_eq!(short.per_class.len(), long.per_class.len());
+    assert_eq!(
+        short.per_instance_batches.len(),
+        long.per_instance_batches.len()
+    );
+    // and the streaming histogram itself is fixed-size however much is
+    // recorded
+    let mut h = LatencyHistogram::new();
+    assert_eq!(h.bin_count(), LatencyHistogram::BIN_COUNT);
+    for i in 0..1_000_000u64 {
+        h.record(1e-5 + (i as f64) * 1e-8);
+    }
+    assert_eq!(h.bin_count(), LatencyHistogram::BIN_COUNT);
+    assert_eq!(h.count(), 1_000_000);
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]

@@ -3,7 +3,7 @@
 //! discrete-event simulation runs single-threaded inside `simulate`;
 //! parallelism is only across replicas).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use pcnna_core::PcnnaConfig;
 use pcnna_fleet::prelude::*;
 
@@ -84,5 +84,39 @@ fn bench_fleet(c: &mut Criterion) {
     group.finish();
 }
 
+/// Emits `BENCH_fleet.json` — the machine-readable record CI uploads
+/// alongside the criterion output (one timed headline run: simulated
+/// requests per wall-clock second on the 50k-rps affinity scenario).
+fn write_record() {
+    let s = scenario(50_000.0, 1.0, Policy::NetworkAffinity);
+    let warm = s.simulate().unwrap();
+    let t = std::time::Instant::now();
+    let r = s.simulate().unwrap();
+    let elapsed = t.elapsed().as_secs_f64();
+    assert_eq!(warm.completed, r.completed, "same seed must reproduce");
+    let sim_rps = if elapsed > 0.0 {
+        r.completed as f64 / elapsed
+    } else {
+        0.0
+    };
+    let json = format!(
+        "{{\"bench\":\"fleet\",\"scenario_rate_rps\":50000,\"horizon_s\":1.0,\
+         \"policy\":\"NetworkAffinity\",\"completed\":{},\"elapsed_s\":{elapsed:.4},\
+         \"sim_requests_per_s\":{sim_rps:.0},\"slo_attainment\":{:.6}}}\n",
+        r.completed, r.slo_attainment
+    );
+    // cargo runs benches with CWD = the package dir; pin the record to
+    // the workspace root where the other BENCH_*.json records live
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote BENCH_fleet.json ({sim_rps:.0} sim req/s)"),
+        Err(e) => eprintln!("could not write BENCH_fleet.json: {e}"),
+    }
+}
+
 criterion_group!(benches, bench_fleet);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    write_record();
+}

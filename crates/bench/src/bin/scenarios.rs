@@ -1,0 +1,228 @@
+//! Chaos scenario matrix: replays the named degradation scenarios
+//! (heat wave, laser aging, channel-loss burst, rolling recalibration)
+//! against a serving fleet and reports resilience figures next to a
+//! fault-free baseline — run with `cargo run --release --bin scenarios`.
+//!
+//! Flags: `--smoke` shrinks the fleet/horizon to CI size,
+//! `--scenario <name>` runs one named scenario (the CI matrix fans out
+//! one job per name), `--seed <n>` overrides the chaos seed.
+//!
+//! Every scenario is run **twice** and the reports are asserted
+//! identical — the seeded-determinism contract CI relies on. The
+//! emitted `BENCH_scenarios.json` deliberately carries **no wall-clock
+//! measurements**, so two runs of the same invocation produce
+//! byte-identical files (the acceptance check `diff`s them).
+
+use pcnna_core::PcnnaConfig;
+use pcnna_fleet::prelude::*;
+use std::time::Instant;
+
+struct Args {
+    smoke: bool,
+    only: Option<ChaosKind>,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        only: None,
+        seed: 7,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--scenario" => {
+                let name = it.next().unwrap_or_default();
+                match ChaosKind::from_name(&name) {
+                    Some(kind) => args.only = Some(kind),
+                    None => {
+                        eprintln!(
+                            "unknown scenario {name:?}; known: {}",
+                            ChaosKind::ALL
+                                .iter()
+                                .map(|k| k.name())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--seed" => {
+                args.seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown flag {other:?} (known: --smoke, --scenario <name>, --seed <n>)");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// The serving workload every scenario runs against: a mixed
+/// AlexNet/LeNet fleet under tight SLOs, loaded to where degradation
+/// visibly moves the needle without saturating the healthy baseline.
+fn base_scenario(smoke: bool, seed: u64) -> FleetScenario {
+    let (fleet, rate_rps, horizon_s) = if smoke {
+        (4, 45_000.0, 0.05)
+    } else {
+        (6, 90_000.0, 0.5)
+    };
+    FleetScenario {
+        classes: vec![
+            NetworkClass::alexnet(0.004, 1.0),
+            NetworkClass::lenet5(0.001, 3.0),
+        ],
+        arrival: ArrivalProcess::Poisson { rate_rps },
+        policy: Policy::NetworkAffinity,
+        instances: vec![PcnnaConfig::default(); fleet],
+        max_batch: 32,
+        queue_capacity: 100_000,
+        horizon_s,
+        seed,
+        ..FleetScenario::default()
+    }
+}
+
+fn json_f(v: f64) -> String {
+    // fixed precision keeps the record compact; f64 formatting itself is
+    // deterministic, so the byte-identity contract holds either way
+    format!("{v:.6}")
+}
+
+fn main() {
+    let args = parse_args();
+    let t0 = Instant::now();
+    let base = base_scenario(args.smoke, args.seed);
+    let chaos_cfg = ChaosConfig {
+        recalibration_s: if args.smoke { 2e-3 } else { 10e-3 },
+        seed: args.seed,
+        ..ChaosConfig::default()
+    };
+    let kinds: Vec<ChaosKind> = match args.only {
+        Some(k) => vec![k],
+        None => ChaosKind::ALL.to_vec(),
+    };
+    println!(
+        "chaos matrix: {} scenario(s) × {} instances, {:.0} req/s for {} ms (seed {}, {} mode)",
+        kinds.len(),
+        base.instances.len(),
+        base.arrival.mean_rate_rps(),
+        (1e3 * base.horizon_s) as u64,
+        args.seed,
+        if args.smoke { "smoke" } else { "full" }
+    );
+
+    let baseline = base.simulate().expect("baseline scenario is valid");
+    println!(
+        "baseline (no faults): SLO {:.2}%  p99 {:.3} ms  {:.3} mJ/req  availability 100.00%",
+        100.0 * baseline.slo_attainment,
+        1e3 * baseline.latency.p99_s,
+        1e3 * baseline.energy_per_request_j,
+    );
+    println!();
+    println!(
+        "  {:<22} {:>7} {:>7} {:>8} {:>8} {:>7} {:>7} {:>7} {:>9} {:>9}",
+        "scenario",
+        "SLO %",
+        "ΔSLO",
+        "avail %",
+        "p99 ms",
+        "f.over",
+        "recals",
+        "fails",
+        "unserved",
+        "mJ/req"
+    );
+
+    let mut records = Vec::new();
+    for kind in kinds {
+        let scenario = FleetScenario {
+            faults: chaos_timeline(kind, &base.instances, base.horizon_s, &chaos_cfg),
+            ..base.clone()
+        };
+        let report = scenario.simulate().expect("chaos scenario is valid");
+        let again = scenario.simulate().expect("chaos scenario is valid");
+        assert_eq!(
+            report,
+            again,
+            "{}: two runs of the same seed must produce identical reports",
+            kind.name()
+        );
+        let r = &report.resilience;
+        println!(
+            "  {:<22} {:>7.2} {:>+7.2} {:>8.2} {:>8.3} {:>7} {:>7} {:>7} {:>9} {:>9.3}",
+            kind.name(),
+            100.0 * report.slo_attainment,
+            100.0 * (report.slo_attainment - baseline.slo_attainment),
+            100.0 * r.availability,
+            1e3 * report.latency.p99_s,
+            r.failed_over,
+            r.recalibrations,
+            r.hard_failures,
+            r.unserved,
+            1e3 * report.energy_per_request_j,
+        );
+        assert_eq!(
+            report.offered,
+            report.admitted + report.rejected,
+            "{}: offered/admitted/rejected books must balance",
+            kind.name()
+        );
+        assert_eq!(
+            report.admitted,
+            report.completed + r.unserved,
+            "{}: conservation (no drops, no duplicates)",
+            kind.name()
+        );
+        records.push(format!(
+            "{{\"name\":\"{}\",\"offered\":{},\"completed\":{},\"rejected\":{},\
+             \"slo_attainment\":{},\"baseline_slo\":{},\"p99_ms\":{},\
+             \"availability\":{},\"failed_over\":{},\"recalibrations\":{},\
+             \"hard_failures\":{},\"fault_events\":{},\"unserved\":{},\
+             \"energy_per_request_mj\":{},\"deterministic\":true}}",
+            kind.name(),
+            report.offered,
+            report.completed,
+            report.rejected,
+            json_f(report.slo_attainment),
+            json_f(baseline.slo_attainment),
+            json_f(1e3 * report.latency.p99_s),
+            json_f(r.availability),
+            r.failed_over,
+            r.recalibrations,
+            r.hard_failures,
+            r.fault_events,
+            r.unserved,
+            json_f(1e3 * report.energy_per_request_j),
+        ));
+    }
+    println!();
+
+    // No wall-clock fields: the record must be byte-identical across
+    // runs of the same invocation (CI's determinism check diffs it).
+    let json = format!(
+        "{{\"bench\":\"scenarios\",\"mode\":\"{}\",\"seed\":{},\"instances\":{},\
+         \"rate_rps\":{},\"horizon_s\":{},\"scenarios\":[{}]}}\n",
+        if args.smoke { "smoke" } else { "full" },
+        args.seed,
+        base.instances.len(),
+        json_f(base.arrival.mean_rate_rps()),
+        json_f(base.horizon_s),
+        records.join(",")
+    );
+    match std::fs::write("BENCH_scenarios.json", &json) {
+        Ok(()) => println!("wrote BENCH_scenarios.json"),
+        Err(e) => eprintln!("could not write BENCH_scenarios.json: {e}"),
+    }
+    println!(
+        "all scenarios deterministic; matrix done in {:.2} s",
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -25,6 +25,7 @@ use crate::power::{PowerAssumptions, PowerModel};
 use crate::Result;
 use pcnna_cnn::geometry::ConvGeometry;
 use pcnna_electronics::time::SimTime;
+use pcnna_photonics::degradation::{DegradationLimits, HealthState};
 use serde::{Deserialize, Serialize};
 
 /// The affine time/energy cost of serving one network on one config.
@@ -118,6 +119,103 @@ pub fn quote(
     })
 }
 
+/// A quote re-derived for degraded hardware, with the derivation's
+/// provenance alongside (what capacity survived and what the laser
+/// compensation costs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradedQuote {
+    /// The re-derived affine cost model (already includes the laser
+    /// compensation energy).
+    pub quote: ServiceQuote,
+    /// Input-DAC channels still alive.
+    pub effective_input_dacs: usize,
+    /// Output-ADC channels still alive.
+    pub effective_adcs: usize,
+    /// Extra per-frame energy spent holding optical power nominal on an
+    /// aged laser (zero at factor 1.0), joules.
+    pub laser_compensation_j_per_frame: f64,
+}
+
+/// Re-derives the [`ServiceQuote`] for `layers` on `config` under a
+/// degraded [`HealthState`].
+///
+/// The degradation maps onto the quote as:
+///
+/// * **Dead converter channels** shrink the effective `n_input_dacs` /
+///   `n_adcs`, so the per-frame time (and the per-frame converter
+///   energy, priced at the longer execution) rises — the quote is
+///   re-run through the full execution model on the surviving-channel
+///   config, not scaled.
+/// * **Laser aging** costs energy, not time: the bias current is
+///   raised to hold optical power (and thus SNR) at nominal, so each
+///   frame carries an extra `(1/factor − 1) ×` the layer's laser
+///   energy.
+/// * **Thermal drift** beyond `limits` (or a laser below its floor)
+///   means the programmed weights — or the SNR — are wrong: no quote
+///   exists and the device must recalibrate. That, and losing the last
+///   converter channel, returns `Ok(None)` (infeasible), which a fleet
+///   treats as "this instance cannot serve until repaired".
+///
+/// With a nominal health snapshot the result is bit-identical to
+/// [`quote`].
+///
+/// # Errors
+///
+/// Propagates configuration and per-layer resource failures from the
+/// core models (same failure surface as [`quote`]).
+pub fn quote_degraded(
+    config: &PcnnaConfig,
+    assumptions: &PowerAssumptions,
+    layers: &[(&str, ConvGeometry)],
+    health: &HealthState,
+    limits: &DegradationLimits,
+) -> Result<Option<DegradedQuote>> {
+    if !health.serviceable(limits) {
+        return Ok(None);
+    }
+    let effective_input_dacs = config
+        .n_input_dacs
+        .saturating_sub(health.dead_input_channels);
+    let effective_adcs = config.n_adcs.saturating_sub(health.dead_output_channels);
+    if effective_input_dacs == 0 || effective_adcs == 0 {
+        return Ok(None);
+    }
+    let degraded = config
+        .with_input_dacs(effective_input_dacs)
+        .with_adcs(effective_adcs);
+    let mut q = quote(&degraded, assumptions, layers)?;
+
+    // Laser compensation: holding the emitted power at nominal on a
+    // diode whose wall-plug efficiency has slid to `factor` multiplies
+    // the lasers' electrical draw by 1/factor. Only the laser share of
+    // the per-frame energy scales — converters and DRAM don't care.
+    let mut laser_compensation_j_per_frame = 0.0;
+    if health.laser_power_factor < 1.0 {
+        let power = PowerModel::new(
+            PcnnaConfig {
+                include_weight_load: false,
+                ..degraded
+            },
+            *assumptions,
+        )?;
+        let laser_j_per_frame: f64 = power
+            .network_power(layers)?
+            .iter()
+            .map(|lp| lp.photonic.lasers_w * lp.exec_seconds)
+            .sum();
+        laser_compensation_j_per_frame =
+            laser_j_per_frame * (1.0 / health.laser_power_factor - 1.0);
+        q.per_frame_energy_j += laser_compensation_j_per_frame;
+    }
+
+    Ok(Some(DegradedQuote {
+        quote: q,
+        effective_input_dacs,
+        effective_adcs,
+        laser_compensation_j_per_frame,
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +286,128 @@ mod tests {
         .unwrap();
         assert_eq!(with.per_frame_energy_j, without.per_frame_energy_j);
         assert_eq!(with.weight_load_energy_j, without.weight_load_energy_j);
+    }
+
+    #[test]
+    fn nominal_health_quotes_bit_identically() {
+        let cfg = PcnnaConfig::default();
+        let layers = zoo::alexnet_conv_layers();
+        let plain = quote(&cfg, &PowerAssumptions::default(), &layers).unwrap();
+        let degraded = quote_degraded(
+            &cfg,
+            &PowerAssumptions::default(),
+            &layers,
+            &HealthState::nominal(),
+            &DegradationLimits::default(),
+        )
+        .unwrap()
+        .expect("nominal hardware is serviceable");
+        assert_eq!(degraded.quote, plain);
+        assert_eq!(degraded.effective_input_dacs, cfg.n_input_dacs);
+        assert_eq!(degraded.effective_adcs, cfg.n_adcs);
+        assert_eq!(degraded.laser_compensation_j_per_frame, 0.0);
+    }
+
+    #[test]
+    fn dead_channels_slow_the_quote_down() {
+        let cfg = PcnnaConfig::default();
+        let layers = zoo::alexnet_conv_layers();
+        let limits = DegradationLimits::default();
+        let healthy = quote(&cfg, &PowerAssumptions::default(), &layers).unwrap();
+        let half = quote_degraded(
+            &cfg,
+            &PowerAssumptions::default(),
+            &layers,
+            &HealthState {
+                dead_input_channels: 5,
+                ..HealthState::nominal()
+            },
+            &limits,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(half.effective_input_dacs, 5);
+        assert!(
+            half.quote.per_frame > healthy.per_frame,
+            "losing half the input DACs must lengthen the frame time"
+        );
+        // matches an explicit re-quote of the surviving-channel config
+        let explicit = quote(
+            &cfg.with_input_dacs(5),
+            &PowerAssumptions::default(),
+            &layers,
+        )
+        .unwrap();
+        assert_eq!(half.quote, explicit);
+    }
+
+    #[test]
+    fn laser_aging_costs_energy_not_time() {
+        let cfg = PcnnaConfig::default();
+        let layers = zoo::alexnet_conv_layers();
+        let limits = DegradationLimits::default();
+        let healthy = quote(&cfg, &PowerAssumptions::default(), &layers).unwrap();
+        let aged = quote_degraded(
+            &cfg,
+            &PowerAssumptions::default(),
+            &layers,
+            &HealthState {
+                laser_power_factor: 0.5,
+                ..HealthState::nominal()
+            },
+            &limits,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(aged.quote.per_frame, healthy.per_frame, "time unchanged");
+        assert_eq!(aged.quote.weight_load, healthy.weight_load);
+        assert!(aged.laser_compensation_j_per_frame > 0.0);
+        assert!(
+            aged.quote.per_frame_energy_j > healthy.per_frame_energy_j,
+            "holding SNR on an aged laser must cost energy"
+        );
+        assert!(
+            (aged.quote.per_frame_energy_j
+                - healthy.per_frame_energy_j
+                - aged.laser_compensation_j_per_frame)
+                .abs()
+                < 1e-15,
+            "the delta is exactly the reported compensation"
+        );
+    }
+
+    #[test]
+    fn infeasible_degradations_return_none() {
+        let cfg = PcnnaConfig::default();
+        let layers = zoo::alexnet_conv_layers();
+        let limits = DegradationLimits::default();
+        let q = |health: &HealthState| {
+            quote_degraded(&cfg, &PowerAssumptions::default(), &layers, health, &limits).unwrap()
+        };
+        // thermal drift past the budget: weights are wrong
+        assert!(q(&HealthState {
+            ambient_delta_k: limits.max_ambient_excursion_k * 2.0,
+            ..HealthState::nominal()
+        })
+        .is_none());
+        // laser below the SNR floor
+        assert!(q(&HealthState {
+            laser_power_factor: limits.min_laser_power_factor * 0.5,
+            ..HealthState::nominal()
+        })
+        .is_none());
+        // every input channel dead
+        assert!(q(&HealthState {
+            dead_input_channels: cfg.n_input_dacs,
+            ..HealthState::nominal()
+        })
+        .is_none());
+        // every output channel dead (even overshooting the count)
+        assert!(q(&HealthState {
+            dead_output_channels: cfg.n_adcs + 7,
+            ..HealthState::nominal()
+        })
+        .is_none());
     }
 
     #[test]

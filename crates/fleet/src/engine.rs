@@ -24,14 +24,34 @@
 //! network keeps its weights programmed, so a same-network follow-up
 //! batch skips the `weight_load` phase (see the field's doc for the
 //! hardware assumption this encodes).
+//!
+//! ## Degradation and failover
+//!
+//! A scenario may carry a [`FaultTimeline`]: health events interleave
+//! with arrivals and completions in the event loop. A **degrade**
+//! re-derives the affected instance's quotes from its new
+//! [`HealthState`] (via [`pcnna_core::serving::quote_degraded`] —
+//! fewer live channels ⇒ longer frames, aged lasers ⇒ pricier frames,
+//! unserviceable states ⇒ no quote at all); in-flight batches finish
+//! at their already-scheduled time. A **hard failure** aborts the
+//! in-flight batch — its requests fail over to the front of their
+//! class queue and its unserved time/energy is refunded — and the
+//! instance stops taking work until repaired. A **recalibration**
+//! drains the current batch, holds the instance offline for its
+//! window, then re-locks the rings ([`HealthState::recalibrated`]) and
+//! requotes. Scheduling only ever considers up, serviceable instances,
+//! so load automatically fails over to the healthy remainder and
+//! re-admits repaired instances.
 
-use crate::metrics::{ClassReport, FleetReport, LatencyHistogram, LatencySummary};
+use crate::faults::{FaultAction, FaultTimeline};
+use crate::metrics::{ClassReport, FleetReport, LatencyHistogram, LatencySummary, ResilienceStats};
 use crate::scheduler::{ClassQueues, Policy};
 use crate::workload::{ArrivalProcess, ArrivalSampler, ClassSampler, NetworkClass, Request};
 use crate::{FleetError, Result};
 use pcnna_core::config::PcnnaConfig;
 use pcnna_core::power::PowerAssumptions;
-use pcnna_core::serving::{quote, ServiceQuote};
+use pcnna_core::serving::{quote, quote_degraded, ServiceQuote};
+use pcnna_photonics::degradation::{DegradationLimits, HealthState};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -68,6 +88,12 @@ pub struct FleetScenario {
     pub horizon_s: f64,
     /// RNG seed (arrivals + class sampling).
     pub seed: u64,
+    /// Timed hardware fault schedule (empty = pristine hardware).
+    #[serde(default)]
+    pub faults: FaultTimeline,
+    /// Serviceability envelope used when requoting degraded instances.
+    #[serde(default)]
+    pub limits: DegradationLimits,
 }
 
 impl Default for FleetScenario {
@@ -83,6 +109,8 @@ impl Default for FleetScenario {
             resident_weights: true,
             horizon_s: 1.0,
             seed: 0,
+            faults: FaultTimeline::new(),
+            limits: DegradationLimits::default(),
         }
     }
 }
@@ -126,6 +154,17 @@ impl FleetScenario {
             if !(c.slo_s > 0.0) {
                 return fail(format!("class {} SLO must be positive", c.name));
             }
+        }
+        if let Err(reason) = self.faults.validate(self.instances.len()) {
+            return fail(format!("fault timeline: {reason}"));
+        }
+        if !(self.limits.max_ambient_excursion_k >= 0.0)
+            || !(0.0..=1.0).contains(&self.limits.min_laser_power_factor)
+        {
+            return fail(format!(
+                "degradation limits out of range: {:?}",
+                self.limits
+            ));
         }
         Ok(())
     }
@@ -202,12 +241,17 @@ impl Ord for EventTime {
     }
 }
 
-/// One in-flight batch slot: the class served plus a reusable request
-/// buffer whose capacity survives release/acquire cycles.
+/// One in-flight batch slot: the class served, a reusable request
+/// buffer whose capacity survives release/acquire cycles, and the
+/// dispatch provenance (start/finish time, billed energy) a hard
+/// failure needs to refund the unserved remainder of an aborted batch.
 #[derive(Debug, Default)]
 struct InflightSlot {
     class: usize,
     requests: Vec<Request>,
+    started_s: f64,
+    done_s: f64,
+    energy_j: f64,
 }
 
 /// Slab arena for in-flight batches, indexed by `u32` handles.
@@ -237,10 +281,25 @@ impl InflightArena {
                 u32::try_from(self.slots.len()).expect("more than u32::MAX concurrent batches");
             self.slots.push(InflightSlot {
                 class,
-                requests: Vec::new(),
+                ..InflightSlot::default()
             });
             handle
         }
+    }
+
+    /// Records a batch's dispatch provenance (for abort refunds).
+    fn note_dispatch(&mut self, handle: u32, started_s: f64, done_s: f64, energy_j: f64) {
+        let slot = &mut self.slots[handle as usize];
+        slot.started_s = started_s;
+        slot.done_s = done_s;
+        slot.energy_j = energy_j;
+    }
+
+    /// The dispatch provenance of an in-flight batch:
+    /// `(started_s, done_s, energy_j)`.
+    fn provenance(&self, handle: u32) -> (f64, f64, f64) {
+        let slot = &self.slots[handle as usize];
+        (slot.started_s, slot.done_s, slot.energy_j)
     }
 
     /// The class of an in-flight batch.
@@ -276,6 +335,17 @@ struct QuoteF {
     per_frame_j: f64,
 }
 
+impl QuoteF {
+    fn from_quote(q: ServiceQuote) -> Self {
+        QuoteF {
+            weight_load_s: q.weight_load.as_secs_f64(),
+            per_frame_s: q.per_frame.as_secs_f64(),
+            weight_load_j: q.weight_load_energy_j,
+            per_frame_j: q.per_frame_energy_j,
+        }
+    }
+}
+
 struct Engine<'a> {
     scenario: &'a FleetScenario,
     // flattened `instances × classes` quote table (row-major by instance)
@@ -294,8 +364,43 @@ struct Engine<'a> {
     // same-class follow-up batch skips the weight reprogramming phase
     loaded: Vec<Option<usize>>,
     busy_time_s: Vec<f64>,
-    // completion min-heap: (time, instance)
-    completions: BinaryHeap<Reverse<(EventTime, usize)>>,
+    // completion min-heap: (time, instance, dispatch epoch). A hard
+    // failure bumps the instance's epoch, so the orphaned completion
+    // event is recognized and discarded lazily at the heap head.
+    completions: BinaryHeap<Reverse<(EventTime, usize, u32)>>,
+    // --- degradation / failover state ---
+    // current health snapshot per instance
+    health: Vec<HealthState>,
+    // instance may accept new batches (false: failed, draining, or
+    // recalibrating)
+    up: Vec<bool>,
+    // recal window to start once the current batch completes
+    draining: Vec<Option<f64>>,
+    // a recal-complete (restore) event is pending in `control`
+    recal_pending: Vec<bool>,
+    // end time of the pending recal window (for downtime refunds when a
+    // hard failure cancels it)
+    recal_until: Vec<f64>,
+    // restore-event validity token per instance: a hard failure during
+    // a recalibration window cancels the pending restore (the repair
+    // never finished), recognized lazily at the control-heap head
+    control_epoch: Vec<u32>,
+    // open offline interval start, if the instance is out of service
+    offline_from: Vec<Option<f64>>,
+    // closed offline instance-seconds accumulated so far
+    offline_s: f64,
+    // completion-event validity token per instance
+    epoch: Vec<u32>,
+    // (instance, class) currently quotable — false when the health
+    // state is unserviceable or leaves no live channels
+    serviceable: Vec<bool>,
+    // cursor into the scenario's fault timeline
+    fault_idx: usize,
+    // restore min-heap: (time, instance)
+    control: BinaryHeap<Reverse<(EventTime, usize, u32)>>,
+    // reusable policy-ranking buffer for dispatch
+    rank_buf: Vec<usize>,
+    res: ResilienceStats,
     // accounting
     offered: u64,
     admitted: u64,
@@ -314,18 +419,9 @@ struct Engine<'a> {
 impl<'a> Engine<'a> {
     fn new(scenario: &'a FleetScenario, quotes: &QuoteTable, seed: u64) -> Self {
         let n_classes = scenario.classes.len();
-        let quotes_f = (0..scenario.instances.len())
-            .flat_map(|i| {
-                (0..n_classes).map(move |c| {
-                    let q = quotes.get(i, c);
-                    QuoteF {
-                        weight_load_s: q.weight_load.as_secs_f64(),
-                        per_frame_s: q.per_frame.as_secs_f64(),
-                        weight_load_j: q.weight_load_energy_j,
-                        per_frame_j: q.per_frame_energy_j,
-                    }
-                })
-            })
+        let n_instances = scenario.instances.len();
+        let quotes_f = (0..n_instances)
+            .flat_map(|i| (0..n_classes).map(move |c| QuoteF::from_quote(quotes.get(i, c))))
             .collect();
         Engine {
             scenario,
@@ -351,6 +447,20 @@ impl<'a> Engine<'a> {
             admitted_per_class: vec![0; n_classes],
             hist_per_class: (0..n_classes).map(|_| LatencyHistogram::new()).collect(),
             on_time_per_class: vec![0; n_classes],
+            health: vec![HealthState::nominal(); n_instances],
+            up: vec![true; n_instances],
+            draining: vec![None; n_instances],
+            recal_pending: vec![false; n_instances],
+            recal_until: vec![0.0; n_instances],
+            control_epoch: vec![0; n_instances],
+            offline_from: vec![None; n_instances],
+            offline_s: 0.0,
+            epoch: vec![0; n_instances],
+            serviceable: vec![true; n_instances * n_classes],
+            fault_idx: 0,
+            control: BinaryHeap::new(),
+            rank_buf: Vec::new(),
+            res: ResilienceStats::default(),
         }
     }
 
@@ -366,10 +476,97 @@ impl<'a> Engine<'a> {
         let mut next_arrival = sample_arrival();
 
         loop {
-            let next_completion = self.completions.peek().map(|Reverse((t, _))| t.0);
-            match (next_arrival, next_completion) {
-                (Some(ta), tc) if tc.is_none_or(|tc| ta <= tc) => {
+            // Discard completion events orphaned by a hard failure (their
+            // batch was aborted and failed over; the epoch mismatch marks
+            // them stale).
+            while let Some(&Reverse((_, i, e))) = self.completions.peek() {
+                if e == self.epoch[i] {
+                    break;
+                }
+                self.completions.pop();
+            }
+            // Likewise for restore events cancelled by a hard failure
+            // mid-recalibration (the repair never finished).
+            while let Some(&Reverse((_, i, e))) = self.control.peek() {
+                if e == self.control_epoch[i] {
+                    break;
+                }
+                self.control.pop();
+            }
+            let tc = self.completions.peek().map(|Reverse((t, _, _))| t.0);
+            let tr = self.control.peek().map(|Reverse((t, _, _))| t.0);
+            let tf = self
+                .scenario
+                .faults
+                .events()
+                .get(self.fault_idx)
+                .map(|e| e.at_s);
+            // Earliest event wins; same-instant ties resolve completion →
+            // restore → fault → arrival, so finished work lands before
+            // state changes and new capacity is visible before new load.
+            let streams = [(tc, 0u8), (tr, 1), (tf, 2), (next_arrival, 3)];
+            let Some((_, which)) = streams
+                .iter()
+                .filter_map(|&(t, k)| t.map(|t| (t, k)))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+            else {
+                break;
+            };
+
+            match which {
+                0 => {
+                    // Completion event.
+                    let Reverse((t, instance, _)) = self.completions.pop().expect("peeked");
+                    let tc = t.0;
+                    let handle = self.busy[instance].take().expect("completion on idle");
+                    let class = self.inflight.class(handle);
+                    for r in self.inflight.requests(handle) {
+                        let latency = tc - r.arrival_s;
+                        self.hist_per_class[class].record(latency);
+                        if tc <= r.deadline_s {
+                            self.on_time_per_class[class] += 1;
+                        }
+                        self.completed += 1;
+                    }
+                    self.inflight.release(handle);
+                    self.last_event_s = self.last_event_s.max(tc);
+                    if let Some(duration_s) = self.draining[instance].take() {
+                        // deferred recalibration: the drain just finished
+                        self.start_recalibration(instance, tc, duration_s);
+                    }
+                    self.dispatch_idle(tc);
+                }
+                1 => {
+                    // Restore: a recalibration window elapsed. Rings are
+                    // re-locked at the current ambient (drift resets; dead
+                    // channels and laser aging persist), weights must be
+                    // reprogrammed, quotes are re-derived, and the instance
+                    // re-admits work.
+                    let Reverse((t, instance, _)) = self.control.pop().expect("peeked");
+                    let tr = t.0;
+                    self.recal_pending[instance] = false;
+                    self.health[instance] = self.health[instance].recalibrated();
+                    self.requote(instance);
+                    self.up[instance] = true;
+                    self.loaded[instance] = None;
+                    if let Some(t0) = self.offline_from[instance].take() {
+                        self.offline_s += (tr - t0).max(0.0);
+                    }
+                    self.last_event_s = self.last_event_s.max(tr);
+                    self.dispatch_idle(tr);
+                }
+                2 => {
+                    // Fault-timeline event.
+                    let ev = self.scenario.faults.events()[self.fault_idx];
+                    self.fault_idx += 1;
+                    self.res.fault_events += 1;
+                    self.apply_fault(ev.instance, ev.at_s, ev.action);
+                    self.last_event_s = self.last_event_s.max(ev.at_s);
+                    self.dispatch_idle(ev.at_s);
+                }
+                _ => {
                     // Arrival event.
+                    let ta = next_arrival.expect("selected stream is Some");
                     self.offered += 1;
                     let class = mix.sample(&mut class_rng);
                     let req = Request {
@@ -390,31 +587,122 @@ impl<'a> Engine<'a> {
                     self.last_event_s = self.last_event_s.max(ta);
                     next_arrival = sample_arrival();
                 }
-                (None, None) => break,
-                (_, _) => {
-                    // Completion event (the guard above routes every state
-                    // with no completion pending to the arrival arm or the
-                    // loop exit, so the heap is non-empty here).
-                    let Reverse((t, instance)) = self.completions.pop().expect("peeked");
-                    let tc = t.0;
-                    let handle = self.busy[instance].take().expect("completion on idle");
-                    let class = self.inflight.class(handle);
-                    for r in self.inflight.requests(handle) {
-                        let latency = tc - r.arrival_s;
-                        self.hist_per_class[class].record(latency);
-                        if tc <= r.deadline_s {
-                            self.on_time_per_class[class] += 1;
-                        }
-                        self.completed += 1;
-                    }
-                    self.inflight.release(handle);
-                    self.last_event_s = self.last_event_s.max(tc);
-                    self.dispatch_idle(tc);
-                }
             }
         }
 
         self.report()
+    }
+
+    /// Applies one fault-timeline action to `instance` at time `t`.
+    fn apply_fault(&mut self, instance: usize, t: f64, action: FaultAction) {
+        match action {
+            FaultAction::Degrade(health) => {
+                self.health[instance] = health;
+                self.requote(instance);
+            }
+            FaultAction::Fail => self.fail_instance(instance, t),
+            FaultAction::Recalibrate { duration_s } => {
+                if self.recal_pending[instance] {
+                    // already mid-recalibration; the running window stands
+                } else if self.busy[instance].is_some() {
+                    // drain: finish the in-flight batch, then recalibrate
+                    self.up[instance] = false;
+                    self.draining[instance] = Some(duration_s);
+                } else {
+                    self.start_recalibration(instance, t, duration_s);
+                }
+            }
+        }
+    }
+
+    /// Hard failure: aborts the in-flight batch (its requests fail over
+    /// to the front of their class queue and its unserved time/energy is
+    /// refunded) and takes the instance out of service until a later
+    /// recalibration repairs it.
+    fn fail_instance(&mut self, instance: usize, t: f64) {
+        self.res.hard_failures += 1;
+        if let Some(handle) = self.busy[instance].take() {
+            // Invalidate the scheduled completion event.
+            self.epoch[instance] = self.epoch[instance].wrapping_add(1);
+            let class = self.inflight.class(handle);
+            let (started_s, done_s, energy_j) = self.inflight.provenance(handle);
+            let span = done_s - started_s;
+            let remaining = (done_s - t).max(0.0);
+            self.busy_time_s[instance] -= remaining;
+            if span > 0.0 {
+                self.energy_j -= energy_j * (remaining / span);
+            }
+            // The batch never served anyone: it no longer counts as
+            // dispatched (its requests will re-dispatch in new batches).
+            // Reload attempts already spent are *not* refunded.
+            self.batches -= 1;
+            self.per_instance_batches[instance] -= 1;
+            let mut buf = std::mem::take(self.inflight.requests_mut(handle));
+            self.res.failed_over += buf.len() as u64;
+            self.queues.requeue_front(class, &mut buf);
+            *self.inflight.requests_mut(handle) = buf; // keep the warm capacity
+            self.inflight.release(handle);
+        }
+        // A hard failure lands on top of any recalibration in progress:
+        // the repair never finishes, so cancel the pending restore (its
+        // heap entry is discarded by the control-epoch check) and hand
+        // the unelapsed window back from the recal-downtime ledger — it
+        // is failure downtime now.
+        if self.recal_pending[instance] {
+            self.recal_pending[instance] = false;
+            self.control_epoch[instance] = self.control_epoch[instance].wrapping_add(1);
+            self.res.recal_downtime_s -= (self.recal_until[instance] - t).max(0.0);
+        }
+        self.up[instance] = false;
+        self.draining[instance] = None;
+        self.loaded[instance] = None;
+        if self.offline_from[instance].is_none() {
+            self.offline_from[instance] = Some(t);
+        }
+    }
+
+    /// Begins a recalibration window: the instance goes offline now and
+    /// a restore event is scheduled `duration_s` later.
+    fn start_recalibration(&mut self, instance: usize, t: f64, duration_s: f64) {
+        self.up[instance] = false;
+        self.loaded[instance] = None;
+        self.recal_pending[instance] = true;
+        self.recal_until[instance] = t + duration_s;
+        if self.offline_from[instance].is_none() {
+            self.offline_from[instance] = Some(t);
+        }
+        self.res.recalibrations += 1;
+        self.res.recal_downtime_s += duration_s;
+        self.control.push(Reverse((
+            EventTime(t + duration_s),
+            instance,
+            self.control_epoch[instance],
+        )));
+    }
+
+    /// Re-derives `instance`'s quotes from its current health. States
+    /// the core models cannot quote (unserviceable drift/laser, no live
+    /// channels, or a downstream model failure) mark the (instance,
+    /// class) pair non-serviceable instead of aborting the simulation.
+    fn requote(&mut self, instance: usize) {
+        self.res.requotes += 1;
+        let config = &self.scenario.instances[instance];
+        for (c, class) in self.scenario.classes.iter().enumerate() {
+            let idx = instance * self.n_classes + c;
+            match quote_degraded(
+                config,
+                &self.scenario.assumptions,
+                &class.layer_refs(),
+                &self.health[instance],
+                &self.scenario.limits,
+            ) {
+                Ok(Some(dq)) => {
+                    self.quotes_f[idx] = QuoteF::from_quote(dq.quote);
+                    self.serviceable[idx] = true;
+                }
+                Ok(None) | Err(_) => self.serviceable[idx] = false,
+            }
+        }
     }
 
     /// Whether a batch of `class` on `instance` skips the weight-load
@@ -447,46 +735,74 @@ impl<'a> Engine<'a> {
         reload + q.per_frame_j * n as f64
     }
 
-    /// The policy's (class, instance) choice for the next dispatch.
-    fn choose(&self) -> Option<(usize, usize)> {
-        let idle = || (0..self.busy.len()).filter(|&i| self.busy[i].is_none());
-        idle().next()?;
-        let fastest_for = |class: usize| {
-            let n = (self.queues.class_len(class) as u64).min(self.scenario.max_batch);
-            idle().min_by(|&a, &b| {
+    /// Whether `instance` may take a new batch at all: in service and
+    /// not already serving one. Failed, draining, and recalibrating
+    /// instances are all `up == false`.
+    fn eligible(&self, instance: usize) -> bool {
+        self.up[instance] && self.busy[instance].is_none()
+    }
+
+    /// The eligible instance that would complete a batch of `class`
+    /// earliest, if any can serve it at all.
+    fn fastest_for(&self, class: usize) -> Option<usize> {
+        let n = (self.queues.class_len(class) as u64).min(self.scenario.max_batch);
+        (0..self.busy.len())
+            .filter(|&i| self.eligible(i) && self.serviceable[i * self.n_classes + class])
+            .min_by(|&a, &b| {
                 self.service_seconds(a, class, n)
                     .total_cmp(&self.service_seconds(b, class, n))
             })
-        };
-        match self.scenario.policy {
-            // FIFO / EDF pick the class first; placement is completion-
-            // earliest, which opportunistically reuses loaded weights.
-            Policy::Fifo | Policy::EarliestDeadlineFirst => {
-                let class = self.queues.select_class(self.scenario.policy)?;
-                Some((class, fastest_for(class)?))
-            }
-            // Network affinity targets the reprogramming cost directly:
-            // serve a class whose weights an idle instance already holds
-            // (the deepest such backlog); only reprogram when no queued
-            // class matches any idle instance. Without weight residency
-            // there is no reload to save, so the matched arm is skipped
-            // and the policy degenerates to its depth-first fallback.
-            Policy::NetworkAffinity => {
-                if self.scenario.resident_weights {
-                    let matched = idle()
-                        .filter_map(|i| {
-                            let class = self.loaded[i]?;
-                            (self.queues.class_len(class) > 0).then_some((class, i))
-                        })
-                        .max_by_key(|&(class, _)| self.queues.class_len(class));
-                    if let Some(choice) = matched {
-                        return Some(choice);
-                    }
-                }
-                let class = self.queues.select_class(self.scenario.policy)?;
-                Some((class, fastest_for(class)?))
+    }
+
+    /// The policy's (class, instance) choice for the next dispatch.
+    ///
+    /// Classes are tried in the policy's preference order: the top
+    /// class can be unservable right now (every instance able to run it
+    /// busy, drained, or degraded past feasibility), and a single
+    /// "best class" answer would wedge the dispatcher behind it while
+    /// other queues starve next to eligible hardware.
+    fn choose(&mut self) -> Option<(usize, usize)> {
+        (0..self.busy.len()).find(|&i| self.eligible(i))?;
+        // Network affinity targets the reprogramming cost directly:
+        // serve a class whose weights an eligible instance already
+        // holds (the deepest such backlog); only reprogram when no
+        // queued class matches any eligible instance. Without weight
+        // residency there is no reload to save, so the matched arm is
+        // skipped and the policy degenerates to its depth-first
+        // fallback.
+        if self.scenario.policy == Policy::NetworkAffinity && self.scenario.resident_weights {
+            let matched = (0..self.busy.len())
+                .filter(|&i| self.eligible(i))
+                .filter_map(|i| {
+                    let class = self.loaded[i]?;
+                    (self.queues.class_len(class) > 0
+                        && self.serviceable[i * self.n_classes + class])
+                        .then_some((class, i))
+                })
+                .max_by_key(|&(class, _)| self.queues.class_len(class));
+            if let Some(choice) = matched {
+                return Some(choice);
             }
         }
+        // FIFO / EDF (and the affinity fallback) serve the best
+        // servable class; placement is completion-earliest, which
+        // opportunistically reuses loaded weights. Fast path first: one
+        // allocation-free scan for the policy's top class, which is
+        // always servable while the fleet is healthy. Only when that
+        // class has no eligible instance (drained, failed, or degraded
+        // past feasibility) is the full preference ranking walked.
+        let top = self.queues.select_class(self.scenario.policy)?;
+        if let Some(i) = self.fastest_for(top) {
+            return Some((top, i));
+        }
+        let mut ranked = core::mem::take(&mut self.rank_buf);
+        self.queues
+            .ranked_classes(self.scenario.policy, &mut ranked);
+        let choice = ranked
+            .iter()
+            .find_map(|&class| self.fastest_for(class).map(|i| (class, i)));
+        self.rank_buf = ranked;
+        choice
     }
 
     /// Keeps dispatching while work is queued and instances are idle.
@@ -495,6 +811,14 @@ impl<'a> Engine<'a> {
             let Some((class, instance)) = self.choose() else {
                 break;
             };
+            debug_assert!(
+                self.eligible(instance),
+                "dispatch routed a batch to a busy, drained, or offline instance"
+            );
+            debug_assert!(
+                self.serviceable[instance * self.n_classes + class],
+                "dispatch routed a batch to an instance that cannot serve its class"
+            );
             let handle = self.inflight.acquire(class);
             self.queues.pop_batch_into(
                 class,
@@ -504,7 +828,9 @@ impl<'a> Engine<'a> {
             let n = self.inflight.requests(handle).len() as u64;
             let service_s = self.service_seconds(instance, class, n);
             let done = now + service_s;
-            self.energy_j += self.service_energy_j(instance, class, n);
+            let energy_j = self.service_energy_j(instance, class, n);
+            self.inflight.note_dispatch(handle, now, done, energy_j);
+            self.energy_j += energy_j;
             self.busy_time_s[instance] += service_s;
             self.batches += 1;
             self.per_instance_batches[instance] += 1;
@@ -513,14 +839,30 @@ impl<'a> Engine<'a> {
             }
             self.busy[instance] = Some(handle);
             self.loaded[instance] = Some(class);
-            self.completions.push(Reverse((EventTime(done), instance)));
+            self.completions
+                .push(Reverse((EventTime(done), instance, self.epoch[instance])));
         }
     }
 
-    fn report(self) -> FleetReport {
+    fn report(mut self) -> FleetReport {
         // A horizon short (or a rate low) enough to produce zero arrivals
         // is a legal run: every ratio below must degrade to 0, not NaN.
         let makespan_s = self.last_event_s;
+        // Close still-open offline intervals at the makespan and settle
+        // the resilience ledger.
+        for t0 in self.offline_from.iter().flatten() {
+            self.offline_s += (makespan_s - t0).max(0.0);
+        }
+        self.res.offline_s = self.offline_s;
+        let n_instances = self.busy.len();
+        self.res.availability = if makespan_s > 0.0 && n_instances > 0 {
+            (1.0 - self.offline_s / (makespan_s * n_instances as f64)).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        // Conservation under faults: whatever capacity never came back
+        // leaves admitted-but-unserved requests in the queues.
+        self.res.unserved = self.admitted - self.completed;
         let safe_ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
         let mut all = LatencyHistogram::new();
         for h in &self.hist_per_class {
@@ -581,6 +923,7 @@ impl<'a> Engine<'a> {
             },
             latency: LatencySummary::from_histogram(&all),
             per_class,
+            resilience: self.res,
         }
     }
 }
@@ -816,6 +1159,248 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn pristine_runs_report_default_resilience() {
+        let r = small_scenario().simulate().unwrap();
+        assert_eq!(r.resilience, ResilienceStats::default());
+        assert_eq!(r.resilience.availability, 1.0);
+    }
+
+    #[test]
+    fn degraded_channels_slow_serving_but_lose_nothing() {
+        use crate::faults::{FaultAction, FaultEvent, FaultTimeline};
+        let healthy = small_scenario().simulate().unwrap();
+        let r = FleetScenario {
+            faults: FaultTimeline::from_events(vec![
+                FaultEvent {
+                    at_s: 0.0,
+                    instance: 0,
+                    action: FaultAction::Degrade(HealthState {
+                        dead_input_channels: 7,
+                        ..HealthState::nominal()
+                    }),
+                },
+                FaultEvent {
+                    at_s: 0.0,
+                    instance: 1,
+                    action: FaultAction::Degrade(HealthState {
+                        dead_input_channels: 7,
+                        ..HealthState::nominal()
+                    }),
+                },
+            ]),
+            ..small_scenario()
+        }
+        .simulate()
+        .unwrap();
+        assert_eq!(
+            r.admitted, r.completed,
+            "degradation must not drop requests"
+        );
+        assert_eq!(r.resilience.fault_events, 2);
+        assert!(r.resilience.requotes >= 2);
+        assert_eq!(r.resilience.unserved, 0);
+        assert!(
+            r.latency.mean_s > healthy.latency.mean_s,
+            "serving on 3 of 10 DACs must be slower ({} vs {})",
+            r.latency.mean_s,
+            healthy.latency.mean_s
+        );
+    }
+
+    #[test]
+    fn failed_instance_takes_no_batches_and_work_fails_over() {
+        use crate::faults::{FaultAction, FaultEvent, FaultTimeline};
+        let r = FleetScenario {
+            faults: FaultTimeline::from_events(vec![FaultEvent {
+                at_s: 0.1,
+                instance: 0,
+                action: FaultAction::Fail,
+            }]),
+            ..small_scenario()
+        }
+        .simulate()
+        .unwrap();
+        // conservation: the survivor absorbs everything
+        assert_eq!(r.offered, r.admitted + r.rejected);
+        assert_eq!(r.admitted, r.completed);
+        assert_eq!(r.resilience.hard_failures, 1);
+        assert!(r.resilience.availability < 1.0);
+        // instance 0 served the pre-fault window only; instance 1 the rest
+        assert!(
+            r.per_instance_batches[1] > r.per_instance_batches[0],
+            "survivor {} vs failed {}",
+            r.per_instance_batches[1],
+            r.per_instance_batches[0]
+        );
+    }
+
+    #[test]
+    fn losing_every_instance_leaves_unserved_requests() {
+        use crate::faults::{FaultAction, FaultEvent, FaultTimeline};
+        let events = (0..2)
+            .map(|i| FaultEvent {
+                at_s: 0.05,
+                instance: i,
+                action: FaultAction::Fail,
+            })
+            .collect();
+        let r = FleetScenario {
+            faults: FaultTimeline::from_events(events),
+            ..small_scenario()
+        }
+        .simulate()
+        .unwrap();
+        assert!(r.resilience.unserved > 0, "no capacity left ⇒ unserved");
+        assert_eq!(r.admitted, r.completed + r.resilience.unserved);
+        assert_eq!(r.resilience.hard_failures, 2);
+        let rendered = r.render();
+        assert!(
+            !rendered.contains("NaN") && !rendered.contains("inf"),
+            "render leaked a non-finite value:\n{rendered}"
+        );
+    }
+
+    #[test]
+    fn recalibration_drains_and_readmits() {
+        use crate::faults::{FaultAction, FaultEvent, FaultTimeline};
+        let r = FleetScenario {
+            instances: vec![PcnnaConfig::default()],
+            faults: FaultTimeline::from_events(vec![FaultEvent {
+                at_s: 0.1,
+                instance: 0,
+                action: FaultAction::Recalibrate { duration_s: 0.02 },
+            }]),
+            ..small_scenario()
+        }
+        .simulate()
+        .unwrap();
+        assert_eq!(r.admitted, r.completed, "drain + re-admit must serve all");
+        assert_eq!(r.resilience.recalibrations, 1);
+        assert!(r.resilience.recal_downtime_s >= 0.02);
+        assert!(r.resilience.availability < 1.0);
+        assert_eq!(r.resilience.unserved, 0);
+    }
+
+    #[test]
+    fn unserviceable_drift_parks_instance_until_recalibrated() {
+        use crate::faults::{FaultAction, FaultEvent, FaultTimeline};
+        let over_budget = HealthState {
+            ambient_delta_k: 1.0, // far past the 0.2 K default budget
+            ..HealthState::nominal()
+        };
+        let r = FleetScenario {
+            faults: FaultTimeline::from_events(vec![
+                FaultEvent {
+                    at_s: 0.05,
+                    instance: 0,
+                    action: FaultAction::Degrade(over_budget),
+                },
+                FaultEvent {
+                    at_s: 0.15,
+                    instance: 0,
+                    action: FaultAction::Recalibrate { duration_s: 0.01 },
+                },
+            ]),
+            ..small_scenario()
+        }
+        .simulate()
+        .unwrap();
+        // everything still completes: the healthy peer carries the load
+        // while instance 0 is out, and instance 0 returns re-locked
+        assert_eq!(r.admitted, r.completed);
+        assert_eq!(r.resilience.recalibrations, 1);
+        assert!(r.per_instance_batches[0] > 0, "re-admitted after re-lock");
+    }
+
+    #[test]
+    fn hard_failure_cancels_an_in_progress_recalibration() {
+        use crate::faults::{FaultAction, FaultEvent, FaultTimeline};
+        // Regression: a Fail landing inside a recalibration window used
+        // to be undone by the window's restore event — the dead
+        // instance came back with no repair. The restore must be
+        // cancelled: with no healthy peer, requests go unserved.
+        let r = FleetScenario {
+            instances: vec![PcnnaConfig::default()],
+            faults: FaultTimeline::from_events(vec![
+                FaultEvent {
+                    at_s: 0.05,
+                    instance: 0,
+                    action: FaultAction::Recalibrate { duration_s: 0.04 },
+                },
+                FaultEvent {
+                    at_s: 0.07,
+                    instance: 0,
+                    action: FaultAction::Fail,
+                },
+            ]),
+            ..small_scenario()
+        }
+        .simulate()
+        .unwrap();
+        assert!(
+            r.resilience.unserved > 0,
+            "the cancelled repair must not resurrect the failed instance"
+        );
+        assert_eq!(r.admitted, r.completed + r.resilience.unserved);
+        // the unelapsed recal window (0.09 − 0.07 = 0.02 s) is refunded
+        // from the recalibration ledger — it is failure downtime now
+        assert!(
+            (r.resilience.recal_downtime_s - 0.02).abs() < 1e-12,
+            "recal downtime {} should be the elapsed window only",
+            r.resilience.recal_downtime_s
+        );
+        // a recalibration scheduled *after* the failure still repairs
+        let repaired = FleetScenario {
+            instances: vec![PcnnaConfig::default()],
+            faults: FaultTimeline::from_events(vec![
+                FaultEvent {
+                    at_s: 0.05,
+                    instance: 0,
+                    action: FaultAction::Recalibrate { duration_s: 0.04 },
+                },
+                FaultEvent {
+                    at_s: 0.07,
+                    instance: 0,
+                    action: FaultAction::Fail,
+                },
+                FaultEvent {
+                    at_s: 0.10,
+                    instance: 0,
+                    action: FaultAction::Recalibrate { duration_s: 0.01 },
+                },
+            ]),
+            ..small_scenario()
+        }
+        .simulate()
+        .unwrap();
+        assert_eq!(repaired.resilience.unserved, 0, "repair re-admits");
+        assert_eq!(repaired.admitted, repaired.completed);
+    }
+
+    #[test]
+    fn chaos_runs_reproduce_from_their_seed() {
+        use crate::faults::{chaos_timeline, ChaosConfig, ChaosKind};
+        let base = small_scenario();
+        for kind in ChaosKind::ALL {
+            let faults = chaos_timeline(
+                kind,
+                &base.instances,
+                base.horizon_s,
+                &ChaosConfig::default(),
+            );
+            let scenario = FleetScenario {
+                faults,
+                ..base.clone()
+            };
+            let a = scenario.simulate().unwrap();
+            let b = scenario.simulate().unwrap();
+            assert_eq!(a, b, "{kind:?} must be seed-deterministic");
+            assert_eq!(a.offered, a.admitted + a.rejected, "{kind:?}");
+            assert_eq!(a.admitted, a.completed + a.resilience.unserved, "{kind:?}");
+        }
     }
 
     #[test]

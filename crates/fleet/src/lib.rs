@@ -22,7 +22,13 @@
 //!   weight-reprogramming cost across same-network batches.
 //! * [`engine`] — the discrete-event fleet engine: N heterogeneous
 //!   [`PcnnaConfig`](pcnna_core::PcnnaConfig) instances, per-class queues
-//!   with bounded admission, greedy fastest-available placement.
+//!   with bounded admission, greedy fastest-available placement, and
+//!   health-aware dispatch (degraded instances requote, failed ones
+//!   fail their work over, recalibrating ones drain and re-admit).
+//! * [`faults`] — fleet fault timelines over
+//!   `pcnna_photonics::degradation` and the named chaos scenarios
+//!   (heat wave, laser aging, channel-loss burst, rolling
+//!   recalibration) the CI scenario matrix replays.
 //! * [`metrics`] — p50/p95/p99/p999 latency, throughput, SLO attainment,
 //!   utilization, and energy-per-request built on the `pcnna-core` power
 //!   models.
@@ -64,13 +70,15 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod par;
 pub mod scheduler;
 pub mod workload;
 
 pub use engine::FleetScenario;
-pub use metrics::{FleetReport, LatencySummary};
+pub use faults::{chaos_timeline, ChaosConfig, ChaosKind, FaultAction, FaultEvent, FaultTimeline};
+pub use metrics::{FleetReport, LatencySummary, ResilienceStats};
 pub use scheduler::Policy;
 pub use workload::{ArrivalProcess, NetworkClass, Request, TrafficMix};
 
@@ -120,8 +128,12 @@ pub type Result<T> = core::result::Result<T, FleetError>;
 /// One-stop imports for scenario construction.
 pub mod prelude {
     pub use crate::engine::FleetScenario;
-    pub use crate::metrics::{FleetReport, LatencyHistogram, LatencySummary};
+    pub use crate::faults::{
+        chaos_timeline, ChaosConfig, ChaosKind, FaultAction, FaultEvent, FaultTimeline,
+    };
+    pub use crate::metrics::{FleetReport, LatencyHistogram, LatencySummary, ResilienceStats};
     pub use crate::par;
     pub use crate::scheduler::Policy;
     pub use crate::workload::{ArrivalProcess, ClassSampler, NetworkClass, TrafficMix};
+    pub use pcnna_photonics::degradation::{DegradationLimits, HealthState};
 }

@@ -268,6 +268,51 @@ pub struct ClassReport {
     pub latency: LatencySummary,
 }
 
+/// Resilience accounting for a run with a fault timeline. All-zero
+/// (with availability 1.0) for a pristine run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceStats {
+    /// Fault-timeline events applied.
+    pub fault_events: u64,
+    /// Hard failures ([`FaultAction::Fail`](crate::faults::FaultAction)).
+    pub hard_failures: u64,
+    /// Recalibration windows actually taken.
+    pub recalibrations: u64,
+    /// Instance-seconds spent in recalibration windows.
+    pub recal_downtime_s: f64,
+    /// Total instance-seconds offline (failures + recalibrations).
+    pub offline_s: f64,
+    /// Mean fraction of instance-time the fleet was in service:
+    /// `1 − offline / (makespan · instances)`.
+    pub availability: f64,
+    /// Requests failed over: aborted with their batch on a hard
+    /// failure and requeued (served later by another instance —
+    /// conservation holds).
+    pub failed_over: u64,
+    /// Quote re-derivations triggered by health changes.
+    pub requotes: u64,
+    /// Admitted requests left unserved because no instance could take
+    /// them before the run ended (every survivor drained; conservation:
+    /// `admitted = completed + unserved`).
+    pub unserved: u64,
+}
+
+impl Default for ResilienceStats {
+    fn default() -> Self {
+        ResilienceStats {
+            fault_events: 0,
+            hard_failures: 0,
+            recalibrations: 0,
+            recal_downtime_s: 0.0,
+            offline_s: 0.0,
+            availability: 1.0,
+            failed_over: 0,
+            requotes: 0,
+            unserved: 0,
+        }
+    }
+}
+
 /// The result of one fleet simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetReport {
@@ -306,6 +351,10 @@ pub struct FleetReport {
     pub latency: LatencySummary,
     /// Per-class breakdown.
     pub per_class: Vec<ClassReport>,
+    /// Resilience accounting (all-zero, availability 1.0, when the
+    /// scenario carried no fault timeline).
+    #[serde(default)]
+    pub resilience: ResilienceStats,
 }
 
 impl FleetReport {
@@ -341,6 +390,20 @@ impl FleetReport {
             1e3 * self.latency.p999_s,
             1e3 * self.latency.max_s
         ));
+        let r = &self.resilience;
+        if r.fault_events > 0 || r.unserved > 0 {
+            out.push_str(&format!(
+                "faults {} (hard {}, recals {})  availability {:.2}%  \
+                 failed-over {}  unserved {}  recal downtime {:.3} ms\n",
+                r.fault_events,
+                r.hard_failures,
+                r.recalibrations,
+                100.0 * r.availability,
+                r.failed_over,
+                r.unserved,
+                1e3 * r.recal_downtime_s
+            ));
+        }
         for c in &self.per_class {
             out.push_str(&format!(
                 "  {:<12} admitted {:<8} completed {:<8} SLO {:.2}%  \

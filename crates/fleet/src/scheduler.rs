@@ -72,7 +72,9 @@ impl ClassQueues {
         self.len += 1;
     }
 
-    /// The policy's choice of class for the next batch, if any.
+    /// The policy's choice of class for the next batch, if any —
+    /// a single allocation-free scan (the dispatch fast path; agrees
+    /// with `ranked_classes`' first entry).
     #[must_use]
     pub fn select_class(&self, policy: Policy) -> Option<usize> {
         let heads = self
@@ -88,12 +90,48 @@ impl ClassQueues {
                 .min_by(|(_, a), (_, b)| a.deadline_s.total_cmp(&b.deadline_s))
                 .map(|(i, _)| i),
             Policy::NetworkAffinity => heads
-                .max_by(|(ia, a), (ib, b)| {
-                    let depth = self.queues[*ia].len().cmp(&self.queues[*ib].len());
+                .min_by(|(ia, a), (ib, b)| {
+                    let depth = self.queues[*ib].len().cmp(&self.queues[*ia].len());
                     // prefer deeper queues; among equals, the older head
-                    depth.then(b.arrival_s.total_cmp(&a.arrival_s))
+                    depth.then(a.arrival_s.total_cmp(&b.arrival_s))
                 })
                 .map(|(i, _)| i),
+        }
+    }
+
+    /// Fills `out` with every non-empty class, ordered by the policy's
+    /// preference (best first). The health-aware engine walks this
+    /// ranking: the top class may have no eligible instance left (all
+    /// of them drained, failed, or unable to serve that network), in
+    /// which case the next class gets its chance — a single "best"
+    /// class would deadlock behind degraded hardware. `out` is a
+    /// caller-owned buffer so the dispatch hot loop reuses one
+    /// allocation.
+    pub fn ranked_classes(&self, policy: Policy, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(
+            self.queues
+                .iter()
+                .enumerate()
+                .filter_map(|(i, q)| q.front().map(|_| i)),
+        );
+        let head = |i: usize| self.queues[i].front().expect("non-empty by construction");
+        match policy {
+            Policy::Fifo => {
+                out.sort_by(|&a, &b| head(a).arrival_s.total_cmp(&head(b).arrival_s));
+            }
+            Policy::EarliestDeadlineFirst => {
+                out.sort_by(|&a, &b| head(a).deadline_s.total_cmp(&head(b).deadline_s));
+            }
+            Policy::NetworkAffinity => {
+                // deeper queues first; among equals, the older head
+                out.sort_by(|&a, &b| {
+                    self.queues[b]
+                        .len()
+                        .cmp(&self.queues[a].len())
+                        .then(head(a).arrival_s.total_cmp(&head(b).arrival_s))
+                });
+            }
         }
     }
 
@@ -112,6 +150,18 @@ impl ClassQueues {
         self.len -= take;
         out.clear();
         out.extend(self.queues[class].drain(..take));
+    }
+
+    /// Returns an aborted batch's requests (given in arrival order) to
+    /// the **front** of their class queue, draining `reqs`. Failover
+    /// path: the requests were already admitted once, so they re-enter
+    /// ahead of younger arrivals and admission capacity is not
+    /// re-checked — nothing is dropped or duplicated.
+    pub fn requeue_front(&mut self, class: usize, reqs: &mut Vec<Request>) {
+        self.len += reqs.len();
+        for r in reqs.drain(..).rev() {
+            self.queues[class].push_front(r);
+        }
     }
 }
 
@@ -173,6 +223,42 @@ mod tests {
         assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1]);
         assert_eq!(q.len(), 2);
         assert_eq!(q.class_len(1), 1);
+    }
+
+    #[test]
+    fn ranked_classes_order_matches_select() {
+        let q = queues();
+        let mut ranked = Vec::new();
+        for p in [
+            Policy::Fifo,
+            Policy::EarliestDeadlineFirst,
+            Policy::NetworkAffinity,
+        ] {
+            q.ranked_classes(p, &mut ranked);
+            assert_eq!(ranked.len(), 2, "{p:?}");
+            assert_eq!(ranked.first().copied(), q.select_class(p), "{p:?}");
+            // every non-empty class appears exactly once
+            let mut sorted = ranked.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1], "{p:?}");
+        }
+    }
+
+    #[test]
+    fn requeue_front_preserves_arrival_order() {
+        let mut q = queues();
+        let mut batch = q.pop_batch(1, 2); // ids 0, 1
+        assert_eq!(q.class_len(1), 1); // id 2 still queued
+        q.requeue_front(1, &mut batch);
+        assert!(batch.is_empty(), "requeue drains the buffer");
+        assert_eq!(q.class_len(1), 3);
+        assert_eq!(q.len(), 4);
+        let again = q.pop_batch(1, 3);
+        assert_eq!(
+            again.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "failed-over requests go back ahead of younger arrivals"
+        );
     }
 
     #[test]

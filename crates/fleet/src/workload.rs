@@ -110,6 +110,12 @@ impl TrafficMix {
     }
 
     /// Draws a class index proportional to the weights.
+    ///
+    /// Documented defaults at the edges (no panics): an **empty** mix
+    /// returns 0 (there is no valid index — callers that admitted an
+    /// empty mix must not use the result), and a mix whose total
+    /// weight is zero or negative falls through to the **last** class.
+    /// Use [`ClassSampler::try_new`] to reject such mixes up front.
     pub fn sample_class(&self, rng: &mut StdRng) -> usize {
         let mut x = rng.gen_range(0.0..self.total_weight.max(f64::MIN_POSITIVE));
         for (i, c) in self.classes.iter().enumerate() {
@@ -118,7 +124,7 @@ impl TrafficMix {
                 return i;
             }
         }
-        self.classes.len() - 1
+        self.classes.len().saturating_sub(1)
     }
 }
 
@@ -136,6 +142,10 @@ pub struct ClassSampler {
 
 impl ClassSampler {
     /// Builds a sampler from the classes' weights.
+    ///
+    /// Accepts any input without panicking; degenerate weight sets get
+    /// the documented defaults described on [`sample`](Self::sample).
+    /// Use [`try_new`](Self::try_new) to reject them instead.
     #[must_use]
     pub fn new(classes: &[NetworkClass]) -> Self {
         let mut acc = 0.0;
@@ -152,8 +162,39 @@ impl ClassSampler {
         }
     }
 
+    /// [`new`](Self::new), but rejecting mixes a weighted draw cannot
+    /// be meaningfully defined over.
+    ///
+    /// # Errors
+    ///
+    /// Returns a reason string for an empty class list, a non-finite
+    /// or negative weight, or an all-zero weight total.
+    pub fn try_new(classes: &[NetworkClass]) -> core::result::Result<Self, String> {
+        if classes.is_empty() {
+            return Err("traffic mix has no classes to sample".to_owned());
+        }
+        for c in classes {
+            if !c.weight.is_finite() || c.weight < 0.0 {
+                return Err(format!(
+                    "class {} weight must be finite and non-negative, got {}",
+                    c.name, c.weight
+                ));
+            }
+        }
+        let sampler = ClassSampler::new(classes);
+        if !(sampler.total > 0.0) {
+            return Err("traffic mix weights sum to zero".to_owned());
+        }
+        Ok(sampler)
+    }
+
     /// Draws a class index proportional to the weights (same convention
     /// as [`TrafficMix::sample_class`]).
+    ///
+    /// Documented defaults at the edges (no panics): an **empty**
+    /// sampler returns 0 (no valid index exists — don't sample an
+    /// empty mix you admitted past [`try_new`](Self::try_new)), and a
+    /// zero/negative total degenerates to a constant pick.
     pub fn sample(&self, rng: &mut StdRng) -> usize {
         let x = rng.gen_range(0.0..self.total.max(f64::MIN_POSITIVE));
         self.cumulative
@@ -296,15 +337,27 @@ pub struct ArrivalSampler {
     // MMPP modulation state.
     in_high_state: bool,
     next_switch_s: f64,
+    // False when the process failed validation at construction: the
+    // thinning loop (and the MMPP state walk) can spin forever on
+    // zero rates, zero dwells, or a zero diurnal period, so an invalid
+    // process is pinned to "never arrives" instead.
+    valid: bool,
 }
 
 impl ArrivalSampler {
     /// Starts a sampler at t = 0.
+    ///
+    /// Documented default (no panics, no hangs): a process that fails
+    /// [`ArrivalProcess::validate`] — zero/NaN rates, zero dwells, a
+    /// zero diurnal period — yields a sampler whose every arrival is
+    /// at `f64::INFINITY`, i.e. **no arrivals ever**. Use
+    /// [`try_new`](Self::try_new) to surface the error instead.
     #[must_use]
     pub fn new(process: ArrivalProcess, seed: u64) -> Self {
+        let valid = process.validate().is_ok();
         let mut rng = StdRng::seed_from_u64(seed ^ 0xF1EE_7A61C);
         let (in_high_state, next_switch_s) = match process {
-            ArrivalProcess::Mmpp { dwell_low_s, .. } => {
+            ArrivalProcess::Mmpp { dwell_low_s, .. } if valid => {
                 (false, exp_sample(&mut rng, 1.0 / dwell_low_s))
             }
             _ => (false, f64::INFINITY),
@@ -315,7 +368,18 @@ impl ArrivalSampler {
             t: 0.0,
             in_high_state,
             next_switch_s,
+            valid,
         }
+    }
+
+    /// [`new`](Self::new), but propagating the validation error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ArrivalProcess::validate`] reason string.
+    pub fn try_new(process: ArrivalProcess, seed: u64) -> core::result::Result<Self, String> {
+        process.validate()?;
+        Ok(ArrivalSampler::new(process, seed))
     }
 
     /// Instantaneous rate at time `t`, advancing modulation state to `t`.
@@ -354,8 +418,12 @@ impl ArrivalSampler {
         }
     }
 
-    /// The next arrival time, seconds (monotone increasing).
+    /// The next arrival time, seconds (monotone increasing; always
+    /// `f64::INFINITY` for a sampler built over an invalid process).
     pub fn next_arrival_s(&mut self) -> f64 {
+        if !self.valid {
+            return f64::INFINITY;
+        }
         // Homogeneous fast path: a Poisson process is its own thinning
         // envelope (every candidate accepts), so skip the acceptance
         // machinery on the per-request hot path.
@@ -491,6 +559,64 @@ mod tests {
         assert_eq!(NetworkClass::alexnet(0.05, 1.0).layers.len(), 5);
         assert_eq!(NetworkClass::lenet5(0.01, 1.0).layers.len(), 3);
         assert_eq!(NetworkClass::vgg16(0.1, 1.0).layers.len(), 13);
+    }
+
+    #[test]
+    fn degenerate_arrival_processes_never_arrive_and_never_hang() {
+        // Regression: these all used to hang (MMPP zero dwells spin the
+        // state walk; a zero diurnal period makes the acceptance
+        // probability NaN, rejecting forever) or poison t with inf.
+        let degenerate = [
+            ArrivalProcess::Poisson { rate_rps: 0.0 },
+            ArrivalProcess::Poisson { rate_rps: f64::NAN },
+            ArrivalProcess::Mmpp {
+                low_rps: 100.0,
+                high_rps: 1000.0,
+                dwell_low_s: 0.0,
+                dwell_high_s: 0.0,
+            },
+            ArrivalProcess::Diurnal {
+                base_rps: 100.0,
+                peak_rps: 1000.0,
+                period_s: 0.0,
+            },
+        ];
+        for p in degenerate {
+            let mut s = ArrivalSampler::new(p, 1);
+            for _ in 0..3 {
+                assert_eq!(s.next_arrival_s(), f64::INFINITY, "{p:?}");
+            }
+            assert!(ArrivalSampler::try_new(p, 1).is_err(), "{p:?}");
+        }
+        assert!(ArrivalSampler::try_new(ArrivalProcess::Poisson { rate_rps: 10.0 }, 1).is_ok());
+    }
+
+    #[test]
+    fn empty_and_zero_weight_mixes_use_documented_defaults() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // empty mix: sample_class used to underflow-panic on len() - 1
+        let empty = TrafficMix::new(vec![]);
+        assert_eq!(empty.sample_class(&mut rng), 0);
+        let empty_sampler = ClassSampler::new(&[]);
+        assert_eq!(empty_sampler.sample(&mut rng), 0);
+        assert!(ClassSampler::try_new(&[]).is_err());
+        // all-zero weights: constant pick, and try_new rejects
+        let zero = vec![
+            NetworkClass::lenet5(0.01, 0.0),
+            NetworkClass::alexnet(0.05, 0.0),
+        ];
+        let sampler = ClassSampler::new(&zero);
+        let picks: Vec<usize> = (0..16).map(|_| sampler.sample(&mut rng)).collect();
+        assert!(picks.iter().all(|&p| p < zero.len()));
+        assert!(ClassSampler::try_new(&zero).is_err());
+        let mix = TrafficMix::new(zero);
+        let pick = mix.sample_class(&mut rng);
+        assert!(pick < mix.classes().len());
+        // negative / NaN weights are rejected by try_new
+        assert!(ClassSampler::try_new(&[NetworkClass::lenet5(0.01, -1.0)]).is_err());
+        assert!(ClassSampler::try_new(&[NetworkClass::lenet5(0.01, f64::NAN)]).is_err());
+        // and a valid mix passes
+        assert!(ClassSampler::try_new(&[NetworkClass::lenet5(0.01, 1.0)]).is_ok());
     }
 
     #[test]

@@ -199,6 +199,139 @@ fn longer_runs_do_not_grow_report_memory() {
     assert_eq!(h.count(), 1_000_000);
 }
 
+/// A small fault-timeline space over a 3-instance fleet: degrades with
+/// random channel loss, hard failures, and recalibrations at random
+/// times inside the horizon.
+fn fault_timelines(horizon_s: f64) -> impl Strategy<Value = FaultTimeline> {
+    let event = (
+        0.0..horizon_s,
+        0usize..3,  // instance
+        0usize..3,  // action selector
+        0usize..10, // dead input channels for Degrade
+    )
+        .prop_map(move |(at_s, instance, action, dead)| FaultEvent {
+            at_s,
+            instance,
+            action: match action {
+                0 => FaultAction::Degrade(HealthState {
+                    dead_input_channels: dead,
+                    ..HealthState::nominal()
+                }),
+                1 => FaultAction::Fail,
+                _ => FaultAction::Recalibrate {
+                    duration_s: horizon_s * 0.05,
+                },
+            },
+        });
+    prop::collection::vec(event, 0..8).prop_map(FaultTimeline::from_events)
+}
+
+fn faulty_scenarios() -> impl Strategy<Value = FleetScenario> {
+    let horizon_s = 0.02;
+    (
+        500.0f64..20_000.0, // arrival rate
+        0usize..3,          // policy index
+        0u64..1_000,        // seed
+        fault_timelines(horizon_s),
+    )
+        .prop_map(move |(rate, policy, seed, faults)| FleetScenario {
+            classes: vec![
+                NetworkClass::lenet5(0.005, 2.0),
+                NetworkClass::alexnet(0.050, 1.0),
+            ],
+            arrival: ArrivalProcess::Poisson { rate_rps: rate },
+            policy: [
+                Policy::Fifo,
+                Policy::EarliestDeadlineFirst,
+                Policy::NetworkAffinity,
+            ][policy],
+            instances: vec![PcnnaConfig::default(); 3],
+            queue_capacity: 100_000,
+            horizon_s,
+            seed,
+            faults,
+            ..FleetScenario::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn faults_preserve_request_conservation(s in faulty_scenarios()) {
+        // Failover must neither drop nor duplicate: every offered
+        // request is rejected at admission, served to completion, or —
+        // only when capacity never comes back — left unserved in the
+        // queues. Nothing else.
+        let r = s.simulate().unwrap();
+        prop_assert_eq!(r.offered, r.admitted + r.rejected);
+        prop_assert_eq!(r.admitted, r.completed + r.resilience.unserved);
+        let per_class: u64 = r.per_class.iter().map(|c| c.completed).sum();
+        prop_assert_eq!(per_class, r.completed);
+        let batches_served: u64 = r.per_instance_batches.iter().sum();
+        prop_assert_eq!(batches_served, r.batches);
+        prop_assert!((0.0..=1.0).contains(&r.resilience.availability));
+        prop_assert!(r.resilience.offline_s >= 0.0);
+        // debug_asserts inside dispatch double-check that no batch was
+        // ever routed to a drained/offline instance (tests build with
+        // debug assertions on)
+    }
+
+    #[test]
+    fn no_request_is_routed_to_an_instance_failed_from_the_start(
+        rate in 1_000.0f64..20_000.0,
+        seed in 0u64..1_000,
+        policy in 0usize..3,
+    ) {
+        // An instance hard-failed before any arrival must serve zero
+        // batches, whatever the policy or load.
+        let r = FleetScenario {
+            classes: vec![
+                NetworkClass::lenet5(0.005, 2.0),
+                NetworkClass::alexnet(0.050, 1.0),
+            ],
+            arrival: ArrivalProcess::Poisson { rate_rps: rate },
+            policy: [
+                Policy::Fifo,
+                Policy::EarliestDeadlineFirst,
+                Policy::NetworkAffinity,
+            ][policy],
+            instances: vec![PcnnaConfig::default(); 3],
+            queue_capacity: 100_000,
+            horizon_s: 0.02,
+            seed,
+            faults: FaultTimeline::from_events(vec![FaultEvent {
+                at_s: 0.0,
+                instance: 1,
+                action: FaultAction::Fail,
+            }]),
+            ..FleetScenario::default()
+        }
+        .simulate()
+        .unwrap();
+        prop_assert_eq!(
+            r.per_instance_batches[1], 0,
+            "drained instance must take no work"
+        );
+        prop_assert_eq!(r.admitted, r.completed, "survivors absorb the load");
+    }
+
+    #[test]
+    fn same_seed_and_timeline_reproduce_at_any_thread_count(
+        s in faulty_scenarios(),
+    ) {
+        // The engine is single-threaded per replica; replication must
+        // be a pure function of the seed list regardless of how many
+        // worker threads the map runs on.
+        let seeds: Vec<u64> = (0..6).map(|k| s.seed ^ (k * 7919)).collect();
+        let serial = par::par_map_slice(&seeds, 1, |seed| s.simulate_seeded(seed).unwrap());
+        let wide = par::par_map_slice(&seeds, 8, |seed| s.simulate_seeded(seed).unwrap());
+        for (a, b) in serial.iter().zip(&wide) {
+            prop_assert_eq!(a, b, "thread count changed a replica's metrics");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

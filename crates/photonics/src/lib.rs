@@ -17,6 +17,9 @@
 //! * [`laser`] — laser diode arrays with relative-intensity noise.
 //! * [`photodiode`] — responsivity, shot and thermal noise, balanced pairs.
 //! * [`thermal`] — heater crosstalk, ambient drift, closed-loop recovery.
+//! * [`degradation`] — hardware fault models (thermal drift over time,
+//!   laser aging, dead converter channels) as seedable, deterministic
+//!   [`DegradationTimeline`]s for resilience studies.
 //! * [`waveguide`] — propagation/splitter losses and link power budgets.
 //! * [`link`] — the end-to-end broadcast-and-weight MAC datapath.
 //! * [`spectrum`] — transmission-spectrum scans (lab-style diagnostics).
@@ -44,6 +47,7 @@
 // it also rejects NaN, which must never enter a physical model.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod degradation;
 pub mod laser;
 pub mod link;
 pub mod microring;
@@ -57,6 +61,7 @@ pub mod waveguide;
 pub mod wavelength;
 pub mod weight_bank;
 
+pub use degradation::{DegradationLimits, DegradationTimeline, FaultProfile, HealthState};
 pub use link::{BroadcastWeightLink, LinkConfig};
 pub use microring::Microring;
 pub use wavelength::WdmGrid;
@@ -144,4 +149,6 @@ pub mod constants {
     pub const BOLTZMANN: f64 = 1.380_649e-23;
     /// Room temperature, K.
     pub const ROOM_TEMPERATURE: f64 = 300.0;
+    /// Centre of the ITU C band, metres (1550 nm).
+    pub const C_BAND_CENTER_M: f64 = 1550e-9;
 }

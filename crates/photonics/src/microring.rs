@@ -95,6 +95,20 @@ impl RingParams {
     pub fn epsilon(&self) -> f64 {
         10f64.powf(-self.extinction_db / 10.0)
     }
+
+    /// HWHM at a given carrier wavelength, `λ / (2Q)`, metres.
+    #[must_use]
+    pub fn hwhm_at_m(&self, carrier_m: f64) -> f64 {
+        carrier_m / (2.0 * self.q_factor)
+    }
+
+    /// A resonance shift expressed in half-linewidths at the C-band
+    /// centre — the unit thermal-drift budgets are naturally judged in
+    /// (one HWHM of drift roughly halves an on-resonance weight).
+    #[must_use]
+    pub fn shift_in_linewidths(&self, shift_m: f64) -> f64 {
+        shift_m.abs() / self.hwhm_at_m(crate::constants::C_BAND_CENTER_M)
+    }
 }
 
 /// One tunable add-drop microring assigned to a carrier wavelength.

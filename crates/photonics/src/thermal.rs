@@ -118,6 +118,17 @@ impl ThermalModel {
             .fold(0.0, f64::max))
     }
 
+    /// The maximum absolute effective-weight error an ambient excursion
+    /// of `delta_k` kelvin would cause on `bank`, without mutating it —
+    /// the probe the degradation models use to map a temperature story
+    /// onto weight corruption.
+    #[must_use]
+    pub fn ambient_weight_error(&self, bank: &MrrWeightBank, delta_k: f64) -> f64 {
+        let mut probe = bank.clone();
+        self.apply_ambient(&mut probe, delta_k)
+            .expect("internally sized perturbation")
+    }
+
     /// The largest ambient excursion (kelvin) a bank tolerates before any
     /// weight drifts by more than `tolerance`, found by bisection on a
     /// cloned bank.
@@ -230,6 +241,19 @@ mod tests {
         let (mut bank, _) = calibrated_bank(5);
         let err = tm.apply_ambient(&mut bank, 1.0).unwrap();
         assert!(err > 0.3, "1 K drift only cost {err}?");
+    }
+
+    #[test]
+    fn ambient_weight_error_probe_is_non_mutating() {
+        let tm = ThermalModel::default();
+        let (bank, _) = calibrated_bank(5);
+        let before = bank.effective_weights();
+        let err = tm.ambient_weight_error(&bank, 0.5);
+        assert!(err > 0.0);
+        assert_eq!(bank.effective_weights(), before, "probe must not mutate");
+        // agrees with the mutating path
+        let mut mutated = bank.clone();
+        assert_eq!(err, tm.apply_ambient(&mut mutated, 0.5).unwrap());
     }
 
     #[test]

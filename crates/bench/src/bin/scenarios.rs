@@ -5,13 +5,17 @@
 //!
 //! Flags: `--smoke` shrinks the fleet/horizon to CI size,
 //! `--scenario <name>` runs one named scenario (the CI matrix fans out
-//! one job per name), `--seed <n>` overrides the chaos seed.
+//! one job per name), `--seed <n>` overrides the chaos seed, and
+//! `--shards <n>` sets the shard-worker count (default 4).
 //!
-//! Every scenario is run **twice** and the reports are asserted
-//! identical — the seeded-determinism contract CI relies on. The
-//! emitted `BENCH_scenarios.json` deliberately carries **no wall-clock
-//! measurements**, so two runs of the same invocation produce
-//! byte-identical files (the acceptance check `diff`s them).
+//! Every report is produced by the **sharded engine** and asserted
+//! bit-identical against its `shards = 1` oracle (run twice) — the
+//! two-layer determinism contract CI relies on: same seed ⇒ same
+//! report, at any shard count. The emitted `BENCH_scenarios.json`
+//! deliberately carries **no wall-clock measurements**, so two runs of
+//! the same invocation — *at any `--shards` value* — produce
+//! byte-identical files (the acceptance check `diff`s them across
+//! shard counts).
 
 use pcnna_core::PcnnaConfig;
 use pcnna_fleet::prelude::*;
@@ -21,6 +25,7 @@ struct Args {
     smoke: bool,
     only: Option<ChaosKind>,
     seed: u64,
+    shards: usize,
 }
 
 fn parse_args() -> Args {
@@ -28,6 +33,7 @@ fn parse_args() -> Args {
         smoke: false,
         only: None,
         seed: 7,
+        shards: 4,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -56,8 +62,17 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--shards" => {
+                args.shards = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--shards needs an integer ≥ 1");
+                    std::process::exit(2);
+                });
+            }
             other => {
-                eprintln!("unknown flag {other:?} (known: --smoke, --scenario <name>, --seed <n>)");
+                eprintln!(
+                    "unknown flag {other:?} (known: --smoke, --scenario <name>, \
+                     --seed <n>, --shards <n>)"
+                );
                 std::process::exit(2);
             }
         }
@@ -110,16 +125,34 @@ fn main() {
         None => ChaosKind::ALL.to_vec(),
     };
     println!(
-        "chaos matrix: {} scenario(s) × {} instances, {:.0} req/s for {} ms (seed {}, {} mode)",
+        "chaos matrix: {} scenario(s) × {} instances, {:.0} req/s for {} ms \
+         (seed {}, {} mode, {} shard(s))",
         kinds.len(),
         base.instances.len(),
         base.arrival.mean_rate_rps(),
         (1e3 * base.horizon_s) as u64,
         args.seed,
-        if args.smoke { "smoke" } else { "full" }
+        if args.smoke { "smoke" } else { "full" },
+        args.shards,
     );
 
-    let baseline = base.simulate().expect("baseline scenario is valid");
+    // Every report comes from the sharded engine at the requested shard
+    // count and is asserted against its shards = 1 oracle — so the JSON
+    // below is byte-identical whatever --shards was.
+    let run = |scenario: &FleetScenario, label: &str| {
+        let report = scenario
+            .simulate_sharded(args.shards, args.shards)
+            .expect("scenario is valid");
+        let oracle = scenario.simulate_sharded(1, 1).expect("scenario is valid");
+        assert_eq!(
+            report, oracle,
+            "{label}: shards={} must reproduce the shards=1 oracle bit-for-bit",
+            args.shards
+        );
+        report
+    };
+
+    let baseline = run(&base, "baseline");
     println!(
         "baseline (no faults): SLO {:.2}%  p99 {:.3} ms  {:.3} mJ/req  availability 100.00%",
         100.0 * baseline.slo_attainment,
@@ -147,8 +180,12 @@ fn main() {
             faults: chaos_timeline(kind, &base.instances, base.horizon_s, &chaos_cfg),
             ..base.clone()
         };
-        let report = scenario.simulate().expect("chaos scenario is valid");
-        let again = scenario.simulate().expect("chaos scenario is valid");
+        let report = run(&scenario, kind.name());
+        // Cross-run determinism: a fresh simulation of the same seed
+        // (the oracle comparison already happened inside `run`).
+        let again = scenario
+            .simulate_sharded(args.shards, args.shards)
+            .expect("scenario is valid");
         assert_eq!(
             report,
             again,

@@ -1,0 +1,739 @@
+//! The discrete-event core: one shard cell's event loop.
+//!
+//! [`CellEngine`] is the engine that used to live behind `simulate()` as
+//! a single closed loop, refactored into a **resumable** unit so the
+//! same code drives both execution shapes:
+//!
+//! * the whole-fleet engine — one cell owning every class and instance,
+//!   fed arrivals straight off the streaming sampler (this is exactly
+//!   the pre-shard engine, event for event); and
+//! * a shard cell — one slice of the class/instance partition
+//!   ([`CellSpec`](super::shard)), fed its classes' arrivals by the
+//!   shard driver in conservative time windows.
+//!
+//! The caller contract is a three-step protocol: for each arriving
+//! request, [`CellEngine::advance_through`] the arrival instant (which
+//! processes every internal event — completions, restores, faults — at
+//! or before it, in the engine's canonical tie order), then
+//! [`CellEngine::admit`] the request; when arrivals are exhausted,
+//! [`CellEngine::finish`] drains the remaining events and yields the
+//! cell's [`CellOutcome`].
+//!
+//! Internally the future-event sets are two octave-bucketed
+//! [`TimingWheel`]s (completions and recalibration restores) instead of
+//! the former binary heaps: O(1) amortized scheduling whatever the
+//! fleet size, with hard-failure cancellation by epoch token — a stale
+//! event is recognized when it surfaces at the wheel front and skipped,
+//! never searched for. Pop order equals the heaps' order exactly, so
+//! the swap changes no simulation result.
+//!
+//! Everything else the pre-shard engine guaranteed still holds per
+//! cell: memoized `Copy` quotes, zero steady-state allocation (slab
+//! arena of warm batch buffers, log-binned latency histograms), greedy
+//! completion-earliest placement, and the full degradation/failover
+//! protocol (degrade ⇒ requote, fail ⇒ abort + front-of-queue failover
+//! + refund, recalibrate ⇒ drain/offline/re-lock).
+
+use super::shard::CellSpec;
+use super::wheel::{EventTime, TimingWheel};
+use super::{FleetScenario, QuoteTable};
+use crate::faults::{FaultAction, FaultEvent};
+use crate::metrics::{LatencyHistogram, ResilienceStats};
+use crate::scheduler::{ClassQueues, Policy};
+use crate::workload::Request;
+use pcnna_core::serving::{quote_degraded, ServiceQuote};
+use pcnna_photonics::degradation::HealthState;
+
+/// One in-flight batch slot: the (cell-local) class served, a reusable
+/// request buffer whose capacity survives release/acquire cycles, and
+/// the dispatch provenance (start/finish time, billed energy) a hard
+/// failure needs to refund the unserved remainder of an aborted batch.
+#[derive(Debug, Default)]
+struct InflightSlot {
+    class: usize,
+    requests: Vec<Request>,
+    started_s: f64,
+    done_s: f64,
+    energy_j: f64,
+}
+
+/// Slab arena for in-flight batches, indexed by `u32` handles.
+///
+/// `acquire` pops a free slot (or grows the slab during warm-up); the
+/// slot's request buffer keeps its capacity across `release`, so once
+/// every instance has dispatched a full batch the event loop performs
+/// **zero heap allocation** — requests move queue → slot buffer → stats
+/// without a `Vec` ever being constructed per batch.
+#[derive(Debug, Default)]
+struct InflightArena {
+    slots: Vec<InflightSlot>,
+    free: Vec<u32>,
+}
+
+impl InflightArena {
+    /// Acquires a slot for a batch of `class`, reusing a freed slot's
+    /// warm buffer when one exists.
+    fn acquire(&mut self, class: usize) -> u32 {
+        if let Some(handle) = self.free.pop() {
+            let slot = &mut self.slots[handle as usize];
+            slot.class = class;
+            slot.requests.clear();
+            handle
+        } else {
+            let handle =
+                u32::try_from(self.slots.len()).expect("more than u32::MAX concurrent batches");
+            self.slots.push(InflightSlot {
+                class,
+                ..InflightSlot::default()
+            });
+            handle
+        }
+    }
+
+    /// Records a batch's dispatch provenance (for abort refunds).
+    fn note_dispatch(&mut self, handle: u32, started_s: f64, done_s: f64, energy_j: f64) {
+        let slot = &mut self.slots[handle as usize];
+        slot.started_s = started_s;
+        slot.done_s = done_s;
+        slot.energy_j = energy_j;
+    }
+
+    /// The dispatch provenance of an in-flight batch:
+    /// `(started_s, done_s, energy_j)`.
+    fn provenance(&self, handle: u32) -> (f64, f64, f64) {
+        let slot = &self.slots[handle as usize];
+        (slot.started_s, slot.done_s, slot.energy_j)
+    }
+
+    /// The class of an in-flight batch.
+    fn class(&self, handle: u32) -> usize {
+        self.slots[handle as usize].class
+    }
+
+    /// The request buffer of an in-flight batch.
+    fn requests(&self, handle: u32) -> &[Request] {
+        &self.slots[handle as usize].requests
+    }
+
+    /// Mutable request buffer (for filling at dispatch).
+    fn requests_mut(&mut self, handle: u32) -> &mut Vec<Request> {
+        &mut self.slots[handle as usize].requests
+    }
+
+    /// Returns a slot to the free list (its buffer keeps its capacity).
+    fn release(&mut self, handle: u32) {
+        self.free.push(handle);
+    }
+}
+
+/// One (instance, class) quote flattened to `f64` seconds/joules — the
+/// form the dispatch inner loop consumes. Converting `SimTime` per
+/// `service_seconds` call showed up in profiles; this is computed once
+/// per run.
+#[derive(Debug, Clone, Copy)]
+struct QuoteF {
+    weight_load_s: f64,
+    per_frame_s: f64,
+    weight_load_j: f64,
+    per_frame_j: f64,
+}
+
+impl QuoteF {
+    fn from_quote(q: ServiceQuote) -> Self {
+        QuoteF {
+            weight_load_s: q.weight_load.as_secs_f64(),
+            per_frame_s: q.per_frame.as_secs_f64(),
+            weight_load_j: q.weight_load_energy_j,
+            per_frame_j: q.per_frame_energy_j,
+        }
+    }
+}
+
+/// Everything one cell accumulated, in the exact shape
+/// [`merge::assemble`](super::merge::assemble) folds back into a
+/// [`FleetReport`](crate::metrics::FleetReport). Counters are exact
+/// sums; f64 ledgers were accumulated in the cell's own event order, so
+/// the merged report is a pure function of the partition — never of the
+/// shard or thread count the run happened to use.
+#[derive(Debug)]
+pub(crate) struct CellOutcome {
+    pub offered: u64,
+    pub admitted: u64,
+    pub rejected: u64,
+    pub completed: u64,
+    pub batches: u64,
+    pub weight_reloads: u64,
+    pub energy_j: f64,
+    pub last_event_s: f64,
+    /// Global index of the cell's first instance (its instances are the
+    /// contiguous range starting here).
+    pub instance_start: usize,
+    pub busy_time_s: Vec<f64>,
+    pub per_instance_batches: Vec<u64>,
+    /// Per-class accounting in the cell's local class order (each entry
+    /// names its global class index).
+    pub classes: Vec<ClassSlice>,
+    /// Resilience ledger; `availability` is a placeholder until the
+    /// merge recomputes it against the fleet-wide makespan.
+    pub res: ResilienceStats,
+}
+
+/// One class's slice of a cell outcome.
+#[derive(Debug)]
+pub(crate) struct ClassSlice {
+    /// Global class index.
+    pub class: usize,
+    pub admitted: u64,
+    pub on_time: u64,
+    pub hist: LatencyHistogram,
+}
+
+/// One shard cell's discrete-event engine (module docs tell the story).
+pub(crate) struct CellEngine<'a> {
+    scenario: &'a FleetScenario,
+    /// Local → global class index.
+    classes: Vec<usize>,
+    /// Global → local class index (`usize::MAX` for classes owned by
+    /// other cells — routing there is a driver bug, debug-asserted).
+    class_local: Vec<usize>,
+    /// Global index of local instance 0 (the cell owns a contiguous
+    /// instance range).
+    instance_start: usize,
+    n_classes: usize,
+    queue_capacity: usize,
+    /// The cell's slice of the fault timeline, instance-remapped to
+    /// local indices, with its cursor.
+    faults: Vec<FaultEvent>,
+    fault_idx: usize,
+    // flattened local `instances × classes` quote table (row-major)
+    quotes_f: Vec<QuoteF>,
+    queues: ClassQueues,
+    // instance state: handle of the in-flight batch, if any
+    busy: Vec<Option<u32>>,
+    inflight: InflightArena,
+    // which class's MRR weights each instance currently holds
+    loaded: Vec<Option<usize>>,
+    busy_time_s: Vec<f64>,
+    /// Count of instances that are up with no batch in flight — the
+    /// dispatch fast path: when zero (a saturated or fully offline
+    /// cell), arrivals skip the placement scan entirely, which is what
+    /// keeps large fleets from paying O(instances) per arrival.
+    eligible_count: usize,
+    /// Completion events, epoch-cancellable.
+    completions: TimingWheel,
+    /// Recalibration-restore events, epoch-cancellable.
+    control: TimingWheel,
+    // --- degradation / failover state ---
+    health: Vec<HealthState>,
+    up: Vec<bool>,
+    draining: Vec<Option<f64>>,
+    recal_pending: Vec<bool>,
+    recal_until: Vec<f64>,
+    control_epoch: Vec<u32>,
+    offline_from: Vec<Option<f64>>,
+    offline_s: f64,
+    epoch: Vec<u32>,
+    serviceable: Vec<bool>,
+    rank_buf: Vec<usize>,
+    res: ResilienceStats,
+    // accounting
+    offered: u64,
+    admitted: u64,
+    rejected: u64,
+    completed: u64,
+    batches: u64,
+    per_instance_batches: Vec<u64>,
+    weight_reloads: u64,
+    energy_j: f64,
+    last_event_s: f64,
+    admitted_per_class: Vec<u64>,
+    hist_per_class: Vec<LatencyHistogram>,
+    on_time_per_class: Vec<u64>,
+}
+
+impl<'a> CellEngine<'a> {
+    pub(crate) fn new(scenario: &'a FleetScenario, quotes: &QuoteTable, spec: &CellSpec) -> Self {
+        let n_classes = spec.classes.len();
+        let n_instances = spec.instances.len();
+        let mut class_local = vec![usize::MAX; scenario.classes.len()];
+        for (local, &global) in spec.classes.iter().enumerate() {
+            class_local[global] = local;
+        }
+        let quotes_f = spec
+            .instances
+            .clone()
+            .flat_map(|i| {
+                spec.classes
+                    .iter()
+                    .map(move |&c| QuoteF::from_quote(quotes.get(i, c)))
+            })
+            .collect();
+        CellEngine {
+            scenario,
+            classes: spec.classes.clone(),
+            class_local,
+            instance_start: spec.instances.start,
+            n_classes,
+            queue_capacity: spec.queue_capacity,
+            faults: scenario
+                .faults
+                .slice_instances(spec.instances.clone())
+                .events()
+                .to_vec(),
+            fault_idx: 0,
+            quotes_f,
+            queues: ClassQueues::new(n_classes),
+            busy: (0..n_instances).map(|_| None).collect(),
+            inflight: InflightArena::default(),
+            loaded: vec![None; n_instances],
+            busy_time_s: vec![0.0; n_instances],
+            eligible_count: n_instances,
+            completions: TimingWheel::new(),
+            control: TimingWheel::new(),
+            offered: 0,
+            admitted: 0,
+            rejected: 0,
+            completed: 0,
+            batches: 0,
+            per_instance_batches: vec![0; n_instances],
+            weight_reloads: 0,
+            energy_j: 0.0,
+            last_event_s: 0.0,
+            admitted_per_class: vec![0; n_classes],
+            hist_per_class: (0..n_classes).map(|_| LatencyHistogram::new()).collect(),
+            on_time_per_class: vec![0; n_classes],
+            health: vec![HealthState::nominal(); n_instances],
+            up: vec![true; n_instances],
+            draining: vec![None; n_instances],
+            recal_pending: vec![false; n_instances],
+            recal_until: vec![0.0; n_instances],
+            control_epoch: vec![0; n_instances],
+            offline_from: vec![None; n_instances],
+            offline_s: 0.0,
+            epoch: vec![0; n_instances],
+            serviceable: vec![true; n_instances * n_classes],
+            rank_buf: Vec::new(),
+            res: ResilienceStats::default(),
+        }
+    }
+
+    /// Processes every internal event — completions, restores, faults —
+    /// with time ≤ `limit`, in time order with the engine's canonical
+    /// same-instant tie order (completion → restore → fault), so that
+    /// finished work lands before state changes and new capacity is
+    /// visible before the arrival the caller is about to admit.
+    ///
+    /// Events orphaned by a hard failure (their epoch token no longer
+    /// matches) are skipped when they surface at a wheel front.
+    pub(crate) fn advance_through(&mut self, limit: f64) {
+        loop {
+            let tc = self.completions.peek().map(|e| e.at.get());
+            let tr = self.control.peek().map(|e| e.at.get());
+            let tf = self.faults.get(self.fault_idx).map(|e| e.at_s);
+            let streams = [(tc, 0u8), (tr, 1), (tf, 2)];
+            let Some((t, which)) = streams
+                .iter()
+                .filter_map(|&(t, k)| t.map(|t| (t, k)))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+            else {
+                break;
+            };
+            if !(t <= limit) {
+                break;
+            }
+            match which {
+                0 => {
+                    let ev = self.completions.pop().expect("peeked");
+                    if ev.epoch == self.epoch[ev.instance as usize] {
+                        self.on_completion(ev.instance as usize, ev.at.get());
+                    }
+                    // stale: the batch was aborted and failed over — skip
+                }
+                1 => {
+                    let ev = self.control.pop().expect("peeked");
+                    if ev.epoch == self.control_epoch[ev.instance as usize] {
+                        self.on_restore(ev.instance as usize, ev.at.get());
+                    }
+                    // stale: the repair was cancelled by a hard failure
+                }
+                _ => {
+                    let ev = self.faults[self.fault_idx];
+                    self.fault_idx += 1;
+                    self.res.fault_events += 1;
+                    self.apply_fault(ev.instance, ev.at_s, ev.action);
+                    self.last_event_s = self.last_event_s.max(ev.at_s);
+                    self.dispatch_idle(ev.at_s);
+                }
+            }
+        }
+    }
+
+    /// Admits (or sheds) one request of this cell's classes. The caller
+    /// must have [`advance_through`](Self::advance_through) the arrival
+    /// instant first.
+    pub(crate) fn admit(&mut self, req: Request) {
+        self.offered += 1;
+        let class = self.class_local[req.class];
+        debug_assert!(
+            class != usize::MAX,
+            "request routed to the wrong shard cell"
+        );
+        let ta = req.arrival_s;
+        if self.queues.len() < self.queue_capacity {
+            self.queues.push(Request { class, ..req });
+            self.admitted += 1;
+            self.admitted_per_class[class] += 1;
+            self.dispatch_idle(ta);
+        } else {
+            self.rejected += 1;
+        }
+        self.last_event_s = self.last_event_s.max(ta);
+    }
+
+    /// Drains every remaining event (arrivals are done) and closes the
+    /// cell's books.
+    pub(crate) fn finish(mut self) -> CellOutcome {
+        self.advance_through(f64::INFINITY);
+        // Close still-open offline intervals at the cell's makespan and
+        // settle the resilience ledger. (Conservation under faults:
+        // whatever capacity never came back leaves admitted-but-unserved
+        // requests in the queues.)
+        let makespan_s = self.last_event_s;
+        for t0 in self.offline_from.iter().flatten() {
+            self.offline_s += (makespan_s - t0).max(0.0);
+        }
+        self.res.offline_s = self.offline_s;
+        self.res.unserved = self.admitted - self.completed;
+        let classes = self
+            .classes
+            .iter()
+            .zip(self.hist_per_class)
+            .zip(&self.on_time_per_class)
+            .zip(&self.admitted_per_class)
+            .map(|(((&class, hist), &on_time), &admitted)| ClassSlice {
+                class,
+                admitted,
+                on_time,
+                hist,
+            })
+            .collect();
+        CellOutcome {
+            offered: self.offered,
+            admitted: self.admitted,
+            rejected: self.rejected,
+            completed: self.completed,
+            batches: self.batches,
+            weight_reloads: self.weight_reloads,
+            energy_j: self.energy_j,
+            last_event_s: self.last_event_s,
+            instance_start: self.instance_start,
+            busy_time_s: self.busy_time_s,
+            per_instance_batches: self.per_instance_batches,
+            classes,
+            res: self.res,
+        }
+    }
+
+    /// Completion event: the batch on `instance` finished at `tc`.
+    fn on_completion(&mut self, instance: usize, tc: f64) {
+        let handle = self.busy[instance].take().expect("completion on idle");
+        let class = self.inflight.class(handle);
+        for r in self.inflight.requests(handle) {
+            let latency = tc - r.arrival_s;
+            self.hist_per_class[class].record(latency);
+            if tc <= r.deadline_s {
+                self.on_time_per_class[class] += 1;
+            }
+            self.completed += 1;
+        }
+        self.inflight.release(handle);
+        self.last_event_s = self.last_event_s.max(tc);
+        if let Some(duration_s) = self.draining[instance].take() {
+            // deferred recalibration: the drain just finished
+            self.start_recalibration(instance, tc, duration_s);
+        } else if self.up[instance] {
+            self.eligible_count += 1;
+        }
+        self.dispatch_idle(tc);
+    }
+
+    /// Restore event: a recalibration window elapsed. Rings are
+    /// re-locked at the current ambient (drift resets; dead channels and
+    /// laser aging persist), weights must be reprogrammed, quotes are
+    /// re-derived, and the instance re-admits work.
+    fn on_restore(&mut self, instance: usize, tr: f64) {
+        self.recal_pending[instance] = false;
+        self.health[instance] = self.health[instance].recalibrated();
+        self.requote(instance);
+        self.up[instance] = true;
+        self.eligible_count += 1;
+        self.loaded[instance] = None;
+        if let Some(t0) = self.offline_from[instance].take() {
+            self.offline_s += (tr - t0).max(0.0);
+        }
+        self.last_event_s = self.last_event_s.max(tr);
+        self.dispatch_idle(tr);
+    }
+
+    /// Applies one fault-timeline action to `instance` at time `t`.
+    fn apply_fault(&mut self, instance: usize, t: f64, action: FaultAction) {
+        match action {
+            FaultAction::Degrade(health) => {
+                self.health[instance] = health;
+                self.requote(instance);
+            }
+            FaultAction::Fail => self.fail_instance(instance, t),
+            FaultAction::Recalibrate { duration_s } => {
+                if self.recal_pending[instance] {
+                    // already mid-recalibration; the running window stands
+                } else if self.busy[instance].is_some() {
+                    // drain: finish the in-flight batch, then recalibrate
+                    self.up[instance] = false;
+                    self.draining[instance] = Some(duration_s);
+                } else {
+                    self.start_recalibration(instance, t, duration_s);
+                }
+            }
+        }
+    }
+
+    /// Hard failure: aborts the in-flight batch (its requests fail over
+    /// to the front of their class queue and its unserved time/energy is
+    /// refunded) and takes the instance out of service until a later
+    /// recalibration repairs it.
+    fn fail_instance(&mut self, instance: usize, t: f64) {
+        self.res.hard_failures += 1;
+        if self.up[instance] && self.busy[instance].is_none() {
+            self.eligible_count -= 1;
+        }
+        if let Some(handle) = self.busy[instance].take() {
+            // Invalidate the scheduled completion event.
+            self.epoch[instance] = self.epoch[instance].wrapping_add(1);
+            let class = self.inflight.class(handle);
+            let (started_s, done_s, energy_j) = self.inflight.provenance(handle);
+            let span = done_s - started_s;
+            let remaining = (done_s - t).max(0.0);
+            self.busy_time_s[instance] -= remaining;
+            if span > 0.0 {
+                self.energy_j -= energy_j * (remaining / span);
+            }
+            // The batch never served anyone: it no longer counts as
+            // dispatched (its requests will re-dispatch in new batches).
+            // Reload attempts already spent are *not* refunded.
+            self.batches -= 1;
+            self.per_instance_batches[instance] -= 1;
+            let mut buf = std::mem::take(self.inflight.requests_mut(handle));
+            self.res.failed_over += buf.len() as u64;
+            self.queues.requeue_front(class, &mut buf);
+            *self.inflight.requests_mut(handle) = buf; // keep the warm capacity
+            self.inflight.release(handle);
+        }
+        // A hard failure lands on top of any recalibration in progress:
+        // the repair never finishes, so cancel the pending restore (its
+        // wheel entry is discarded by the control-epoch check) and hand
+        // the unelapsed window back from the recal-downtime ledger — it
+        // is failure downtime now.
+        if self.recal_pending[instance] {
+            self.recal_pending[instance] = false;
+            self.control_epoch[instance] = self.control_epoch[instance].wrapping_add(1);
+            self.res.recal_downtime_s -= (self.recal_until[instance] - t).max(0.0);
+        }
+        self.up[instance] = false;
+        self.draining[instance] = None;
+        self.loaded[instance] = None;
+        if self.offline_from[instance].is_none() {
+            self.offline_from[instance] = Some(t);
+        }
+    }
+
+    /// Begins a recalibration window: the instance goes offline now and
+    /// a restore event is scheduled `duration_s` later.
+    fn start_recalibration(&mut self, instance: usize, t: f64, duration_s: f64) {
+        if self.up[instance] && self.busy[instance].is_none() {
+            self.eligible_count -= 1;
+        }
+        self.up[instance] = false;
+        self.loaded[instance] = None;
+        self.recal_pending[instance] = true;
+        self.recal_until[instance] = t + duration_s;
+        if self.offline_from[instance].is_none() {
+            self.offline_from[instance] = Some(t);
+        }
+        self.res.recalibrations += 1;
+        self.res.recal_downtime_s += duration_s;
+        let at = EventTime::try_new(t + duration_s)
+            .expect("restore time must be finite and non-negative");
+        self.control
+            .push(at, instance as u32, self.control_epoch[instance]);
+    }
+
+    /// Re-derives `instance`'s quotes (for this cell's classes) from its
+    /// current health. States the core models cannot quote (unserviceable
+    /// drift/laser, no live channels, or a downstream model failure) mark
+    /// the (instance, class) pair non-serviceable instead of aborting the
+    /// simulation.
+    fn requote(&mut self, instance: usize) {
+        self.res.requotes += 1;
+        let config = &self.scenario.instances[self.instance_start + instance];
+        for (c, &global) in self.classes.iter().enumerate() {
+            let class = &self.scenario.classes[global];
+            let idx = instance * self.n_classes + c;
+            match quote_degraded(
+                config,
+                &self.scenario.assumptions,
+                &class.layer_refs(),
+                &self.health[instance],
+                &self.scenario.limits,
+            ) {
+                Ok(Some(dq)) => {
+                    self.quotes_f[idx] = QuoteF::from_quote(dq.quote);
+                    self.serviceable[idx] = true;
+                }
+                Ok(None) | Err(_) => self.serviceable[idx] = false,
+            }
+        }
+    }
+
+    /// Whether a batch of `class` on `instance` skips the weight-load
+    /// phase: only when the scenario grants whole-network residency AND
+    /// the instance's banks already hold this class's weights.
+    fn skips_reload(&self, instance: usize, class: usize) -> bool {
+        self.scenario.resident_weights && self.loaded[instance] == Some(class)
+    }
+
+    /// Service time of a batch of `n` on `instance`, accounting for the
+    /// weights it already holds.
+    fn service_seconds(&self, instance: usize, class: usize, n: u64) -> f64 {
+        let q = &self.quotes_f[instance * self.n_classes + class];
+        let reload = if self.skips_reload(instance, class) {
+            0.0
+        } else {
+            q.weight_load_s
+        };
+        reload + q.per_frame_s * n as f64
+    }
+
+    /// Energy of a batch of `n` on `instance` (reload-aware, like time).
+    fn service_energy_j(&self, instance: usize, class: usize, n: u64) -> f64 {
+        let q = &self.quotes_f[instance * self.n_classes + class];
+        let reload = if self.skips_reload(instance, class) {
+            0.0
+        } else {
+            q.weight_load_j
+        };
+        reload + q.per_frame_j * n as f64
+    }
+
+    /// Whether `instance` may take a new batch at all: in service and
+    /// not already serving one. Failed, draining, and recalibrating
+    /// instances are all `up == false`.
+    fn eligible(&self, instance: usize) -> bool {
+        self.up[instance] && self.busy[instance].is_none()
+    }
+
+    /// The eligible instance that would complete a batch of `class`
+    /// earliest, if any can serve it at all.
+    fn fastest_for(&self, class: usize) -> Option<usize> {
+        let n = (self.queues.class_len(class) as u64).min(self.scenario.max_batch);
+        (0..self.busy.len())
+            .filter(|&i| self.eligible(i) && self.serviceable[i * self.n_classes + class])
+            .min_by(|&a, &b| {
+                self.service_seconds(a, class, n)
+                    .total_cmp(&self.service_seconds(b, class, n))
+            })
+    }
+
+    /// The policy's (class, instance) choice for the next dispatch.
+    ///
+    /// Classes are tried in the policy's preference order: the top
+    /// class can be unservable right now (every instance able to run it
+    /// busy, drained, or degraded past feasibility), and a single
+    /// "best class" answer would wedge the dispatcher behind it while
+    /// other queues starve next to eligible hardware.
+    fn choose(&mut self) -> Option<(usize, usize)> {
+        // Network affinity targets the reprogramming cost directly:
+        // serve a class whose weights an eligible instance already
+        // holds (the deepest such backlog); only reprogram when no
+        // queued class matches any eligible instance. Without weight
+        // residency there is no reload to save, so the matched arm is
+        // skipped and the policy degenerates to its depth-first
+        // fallback.
+        if self.scenario.policy == Policy::NetworkAffinity && self.scenario.resident_weights {
+            let matched = (0..self.busy.len())
+                .filter(|&i| self.eligible(i))
+                .filter_map(|i| {
+                    let class = self.loaded[i]?;
+                    (self.queues.class_len(class) > 0
+                        && self.serviceable[i * self.n_classes + class])
+                        .then_some((class, i))
+                })
+                .max_by_key(|&(class, _)| self.queues.class_len(class));
+            if let Some(choice) = matched {
+                return Some(choice);
+            }
+        }
+        // FIFO / EDF (and the affinity fallback) serve the best
+        // servable class; placement is completion-earliest, which
+        // opportunistically reuses loaded weights. Fast path first: one
+        // allocation-free scan for the policy's top class, which is
+        // always servable while the fleet is healthy. Only when that
+        // class has no eligible instance (drained, failed, or degraded
+        // past feasibility) is the full preference ranking walked.
+        let top = self.queues.select_class(self.scenario.policy)?;
+        if let Some(i) = self.fastest_for(top) {
+            return Some((top, i));
+        }
+        let mut ranked = core::mem::take(&mut self.rank_buf);
+        self.queues
+            .ranked_classes(self.scenario.policy, &mut ranked);
+        let choice = ranked
+            .iter()
+            .find_map(|&class| self.fastest_for(class).map(|i| (class, i)));
+        self.rank_buf = ranked;
+        choice
+    }
+
+    /// Keeps dispatching while work is queued and instances are idle.
+    /// The `eligible_count` guard is the saturation fast path: a busy
+    /// (or dead) cell pays nothing per arrival beyond the queue push.
+    fn dispatch_idle(&mut self, now: f64) {
+        while self.eligible_count > 0 && !self.queues.is_empty() {
+            let Some((class, instance)) = self.choose() else {
+                break;
+            };
+            debug_assert!(
+                self.eligible(instance),
+                "dispatch routed a batch to a busy, drained, or offline instance"
+            );
+            debug_assert!(
+                self.serviceable[instance * self.n_classes + class],
+                "dispatch routed a batch to an instance that cannot serve its class"
+            );
+            let handle = self.inflight.acquire(class);
+            self.queues.pop_batch_into(
+                class,
+                self.scenario.max_batch,
+                self.inflight.requests_mut(handle),
+            );
+            let n = self.inflight.requests(handle).len() as u64;
+            let service_s = self.service_seconds(instance, class, n);
+            let done = now + service_s;
+            let energy_j = self.service_energy_j(instance, class, n);
+            self.inflight.note_dispatch(handle, now, done, energy_j);
+            self.energy_j += energy_j;
+            self.busy_time_s[instance] += service_s;
+            self.batches += 1;
+            self.per_instance_batches[instance] += 1;
+            if !self.skips_reload(instance, class) {
+                self.weight_reloads += 1;
+            }
+            self.busy[instance] = Some(handle);
+            self.eligible_count -= 1;
+            self.loaded[instance] = Some(class);
+            let at =
+                EventTime::try_new(done).expect("completion time must be finite and non-negative");
+            self.completions
+                .push(at, instance as u32, self.epoch[instance]);
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! Sharding one simulation across cores — deterministically.
+//!
+//! ## The partition
+//!
+//! [`ShardPlan`] splits a scenario into up to [`ShardPlan::MAX_CELLS`]
+//! **cells**: workload classes are dealt round-robin over the cells, and
+//! each cell receives a contiguous slice of the instance list sized to
+//! its share of the **service demand** — traffic weight × mean
+//! per-frame quote, so a class of few-but-heavy requests gets the
+//! hardware its seconds actually need, not its request count
+//! (largest-remainder apportionment, every cell at least one
+//! instance) — plus a traffic-weighted slice of the admission bound
+//! (queue slots hold requests, so request share is the right key
+//! there) and the cell's slice of the fault timeline. A cell is a complete
+//! sub-simulation — its own queues, scheduler state, health state,
+//! in-flight arena, latency histograms — and, crucially, the plan is a
+//! **pure function of the scenario**: it never looks at the shard or
+//! thread count. That is the root of the determinism contract:
+//!
+//! > same seed ⇒ bit-identical [`FleetReport`], for every
+//! > `(shards, threads)` combination.
+//!
+//! Shards and threads only decide *who executes* a cell; *what* a cell
+//! computes, and the canonical order its numbers are merged in (the
+//! engine's private `merge` module), never change.
+//!
+//! ## The arrival stream
+//!
+//! One arrival generator replays the scenario's arrival process and class
+//! mix exactly as the whole-fleet engine would (same sampler, same RNG
+//! streams, same ids), and each request is routed to the cell owning
+//! its class. The generated stream is therefore identical at any shard
+//! count — a cell sees precisely the sub-stream of its classes.
+//!
+//! ## The conservative time-window barrier
+//!
+//! In the parallel path the generator runs on the calling thread and
+//! ships arrivals to worker threads in **time windows** over bounded
+//! channels. The window is derived from the fastest quote in the fleet
+//! (the minimum per-frame service time — the lookahead floor: nothing
+//! observable happens on a finer scale), with a coarse floor of
+//! 1/64 horizon so short runs still pipeline. Because the partition
+//! leaves no cross-cell events, any window length yields the same
+//! result — the window's job is to bound how far the generator may run
+//! ahead of the slowest shard (backpressure caps in-flight arrivals at
+//! a few windows) and to keep generation overlapped with simulation.
+//! Cross-shard causality is enforced by construction: failover and
+//! affinity routing both happen inside a cell, which owns every
+//! instance its classes may touch.
+//!
+//! ## What sharding changes — honestly
+//!
+//! The partitioned fleet is a *different serving system* from the
+//! single-shard engine: a class is placed only within its cell's
+//! instances (placement loses the other cells' hardware), and admission
+//! bounds are per-cell slices of the global bound. The single-shard
+//! (`shards = 1`) run of **this** engine — not the whole-fleet
+//! `simulate()` — is therefore the oracle every other shard/thread
+//! count must reproduce bit-for-bit. For a scenario with one class (or
+//! one instance) the plan degenerates to a single cell and
+//! `simulate_sharded` coincides with `simulate()` exactly.
+
+use super::core::{CellEngine, CellOutcome};
+use super::merge;
+use super::{FleetScenario, QuoteTable};
+use crate::metrics::FleetReport;
+use crate::workload::{ArrivalSampler, ClassSampler, Request};
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::ops::Range;
+use std::sync::mpsc;
+
+/// One cell of the partition: the classes it owns, its contiguous
+/// instance slice, and its slice of the admission bound.
+#[derive(Debug, Clone)]
+pub(crate) struct CellSpec {
+    /// Global class indices owned by this cell.
+    pub classes: Vec<usize>,
+    /// Global instance range owned by this cell.
+    pub instances: Range<usize>,
+    /// This cell's admission bound (its slice of `queue_capacity`).
+    pub queue_capacity: usize,
+}
+
+impl CellSpec {
+    /// The degenerate single-cell spec: the whole fleet. This is what
+    /// `simulate()` runs — the pre-shard engine, event for event.
+    pub(crate) fn whole_fleet(scenario: &FleetScenario) -> CellSpec {
+        CellSpec {
+            classes: (0..scenario.classes.len()).collect(),
+            instances: 0..scenario.instances.len(),
+            queue_capacity: scenario.queue_capacity,
+        }
+    }
+}
+
+/// The deterministic partition of a scenario into shard cells (module
+/// docs describe the scheme and the determinism contract).
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    pub(crate) cells: Vec<CellSpec>,
+    pub(crate) class_to_cell: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Upper bound on the number of cells a plan creates. The actual
+    /// count is `min(classes, instances, MAX_CELLS)` — a cell must own
+    /// at least one class and one instance to be a simulation at all.
+    pub const MAX_CELLS: usize = 32;
+
+    /// Builds the plan for `scenario`, using `quotes` (when available)
+    /// to size instance slices by service demand rather than raw
+    /// request share. Pure function of the scenario — deliberately
+    /// blind to shard and thread counts.
+    #[must_use]
+    pub fn new(scenario: &FleetScenario, quotes: Option<&QuoteTable>) -> ShardPlan {
+        let n_c = scenario.classes.len();
+        let n_i = scenario.instances.len();
+        if n_c == 0 || n_i == 0 {
+            // Degenerate (invalid) scenarios still get a well-formed
+            // single-cell plan; validation rejects them before any run.
+            return ShardPlan {
+                cells: vec![CellSpec::whole_fleet(scenario)],
+                class_to_cell: vec![0; n_c],
+            };
+        }
+        let l = n_c.min(n_i).min(Self::MAX_CELLS);
+        let mut cell_classes: Vec<Vec<usize>> = vec![Vec::new(); l];
+        let mut class_to_cell = vec![0usize; n_c];
+        for c in 0..n_c {
+            cell_classes[c % l].push(c);
+            class_to_cell[c] = c % l;
+        }
+        // A class's expected service demand is its traffic weight times
+        // its mean per-frame quote: instance-seconds per offered
+        // request, which is what hardware shares must match. Without a
+        // quote table (or with a degenerate one) the demand degrades to
+        // the plain traffic weight.
+        let demand = |c: usize| -> f64 {
+            let w = scenario.classes[c].weight;
+            let Some(q) = quotes else { return w };
+            let mean_frame = (0..n_i)
+                .map(|i| q.get(i, c).per_frame.as_secs_f64())
+                .sum::<f64>()
+                / n_i as f64;
+            if mean_frame.is_finite() && mean_frame > 0.0 {
+                w * mean_frame
+            } else {
+                w
+            }
+        };
+        let demand_shares: Vec<f64> = cell_classes
+            .iter()
+            .map(|cs| cs.iter().map(|&c| demand(c)).sum())
+            .collect();
+        // Traffic-weight share per cell drives the admission-bound
+        // split (queue slots hold requests, not seconds).
+        let shares: Vec<f64> = cell_classes
+            .iter()
+            .map(|cs| cs.iter().map(|&c| scenario.classes[c].weight).sum())
+            .collect();
+        let mut counts = apportion(n_i, &demand_shares);
+        // Every cell serves traffic, so every cell needs hardware: move
+        // instances from the largest allocations to any zero-sized ones
+        // (deterministic donor choice: largest count, lowest index).
+        for i in 0..l {
+            while counts[i] == 0 {
+                let donor = (0..l)
+                    .max_by(|&a, &b| counts[a].cmp(&counts[b]).then(b.cmp(&a)))
+                    .expect("plan has at least one cell");
+                debug_assert!(counts[donor] > 1, "l <= n_i guarantees a donor");
+                counts[donor] -= 1;
+                counts[i] += 1;
+            }
+        }
+        // Admission bound: same apportionment, with a floor of 1 so no
+        // cell rejects everything. An effectively unbounded queue stays
+        // unbounded per cell.
+        let caps: Vec<usize> = if scenario.queue_capacity >= usize::MAX / 2 {
+            vec![scenario.queue_capacity; l]
+        } else {
+            apportion(scenario.queue_capacity, &shares)
+                .into_iter()
+                .map(|c| c.max(1))
+                .collect()
+        };
+        let mut start = 0usize;
+        let cells = cell_classes
+            .into_iter()
+            .zip(counts)
+            .zip(caps)
+            .map(|((classes, count), queue_capacity)| {
+                let spec = CellSpec {
+                    classes,
+                    instances: start..start + count,
+                    queue_capacity,
+                };
+                start += count;
+                spec
+            })
+            .collect();
+        ShardPlan {
+            cells,
+            class_to_cell,
+        }
+    }
+
+    /// Number of cells in the plan.
+    #[must_use]
+    pub fn n_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Global class indices owned by `cell`.
+    #[must_use]
+    pub fn cell_classes(&self, cell: usize) -> &[usize] {
+        &self.cells[cell].classes
+    }
+
+    /// Global instance range owned by `cell`.
+    #[must_use]
+    pub fn cell_instances(&self, cell: usize) -> Range<usize> {
+        self.cells[cell].instances.clone()
+    }
+
+    /// The cell owning `class`.
+    #[must_use]
+    pub fn cell_of_class(&self, class: usize) -> usize {
+        self.class_to_cell[class]
+    }
+}
+
+/// Largest-remainder apportionment of `total` items over `shares`
+/// (deterministic: remainder ties resolve to the lower index).
+fn apportion(total: usize, shares: &[f64]) -> Vec<usize> {
+    let sum: f64 = shares.iter().sum();
+    let quota: Vec<f64> = shares
+        .iter()
+        .map(|&s| total as f64 * s / sum.max(f64::MIN_POSITIVE))
+        .collect();
+    let mut counts: Vec<usize> = quota.iter().map(|q| q.floor() as usize).collect();
+    let assigned: usize = counts.iter().sum();
+    let mut order: Vec<usize> = (0..shares.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ra = quota[a] - counts[a] as f64;
+        let rb = quota[b] - counts[b] as f64;
+        rb.total_cmp(&ra).then(a.cmp(&b))
+    });
+    let mut rem = total.saturating_sub(assigned);
+    let mut k = 0usize;
+    while rem > 0 {
+        counts[order[k % order.len()]] += 1;
+        k += 1;
+        rem -= 1;
+    }
+    counts
+}
+
+/// Replays the scenario's arrival stream — the exact sampler and RNG
+/// streams the whole-fleet engine consumes, so the stream (times,
+/// classes, ids, deadlines) is identical however many shards consume it.
+pub(crate) struct ArrivalGen {
+    sampler: ArrivalSampler,
+    class_rng: StdRng,
+    mix: ClassSampler,
+    slo: Vec<f64>,
+    horizon_s: f64,
+    next_id: u64,
+    pending: Option<Request>,
+    done: bool,
+}
+
+impl ArrivalGen {
+    pub(crate) fn new(scenario: &FleetScenario, seed: u64) -> ArrivalGen {
+        ArrivalGen {
+            sampler: ArrivalSampler::new(scenario.arrival, seed),
+            class_rng: StdRng::seed_from_u64(seed ^ 0xC1A5_55E5),
+            mix: ClassSampler::new(&scenario.classes),
+            slo: scenario.classes.iter().map(|c| c.slo_s).collect(),
+            horizon_s: scenario.horizon_s,
+            next_id: 0,
+            pending: None,
+            done: false,
+        }
+    }
+
+    /// The next request, if any arrives before the horizon. Fused: once
+    /// the horizon is passed the sampler is never consulted again.
+    pub(crate) fn next(&mut self) -> Option<Request> {
+        if let Some(req) = self.pending.take() {
+            return Some(req);
+        }
+        if self.done {
+            return None;
+        }
+        let t = self.sampler.next_arrival_s();
+        if !(t < self.horizon_s) {
+            self.done = true;
+            return None;
+        }
+        let class = self.mix.sample(&mut self.class_rng);
+        let req = Request {
+            id: self.next_id,
+            class,
+            arrival_s: t,
+            deadline_s: t + self.slo[class],
+        };
+        self.next_id += 1;
+        Some(req)
+    }
+
+    /// The next request strictly before `t_edge`, buffering the first
+    /// one at or past it (the window boundary).
+    fn next_before(&mut self, t_edge: f64) -> Option<Request> {
+        let req = self.next()?;
+        if req.arrival_s < t_edge {
+            Some(req)
+        } else {
+            self.pending = Some(req);
+            None
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.done && self.pending.is_none()
+    }
+}
+
+/// How many windows the generator may run ahead of the slowest shard
+/// (the bounded-channel depth): the conservative lookahead barrier.
+const WINDOWS_IN_FLIGHT: usize = 2;
+
+/// Coarse floor on the window count per run (windows are a pacing and
+/// memory knob, not a correctness one — see the module docs).
+const MIN_WINDOWS: f64 = 64.0;
+
+/// Per-window arrival batch shipped to one worker: `(cell index,
+/// requests of that cell, in arrival order)`.
+type WindowBatch = Vec<(usize, Vec<Request>)>;
+
+impl FleetScenario {
+    /// The deterministic shard partition of this scenario (see
+    /// [`ShardPlan`]) — demand-aware when the scenario quotes cleanly,
+    /// traffic-weighted otherwise.
+    #[must_use]
+    pub fn shard_plan(&self) -> ShardPlan {
+        ShardPlan::new(self, self.quote_table().ok().as_ref())
+    }
+
+    /// Runs the sharded engine: the scenario's [`ShardPlan`] cells,
+    /// executed by `min(shards, threads, cells)` worker threads (1 ⇒
+    /// everything on the calling thread), merged in canonical order.
+    ///
+    /// **Determinism contract:** same seed ⇒ bit-identical report for
+    /// every `(shards, threads)` combination. The `shards = 1` run is
+    /// the oracle; see the module docs for how the partitioned fleet
+    /// differs semantically from [`simulate`](FleetScenario::simulate).
+    ///
+    /// # Errors
+    ///
+    /// Returns scenario-validation or core quoting failures.
+    pub fn simulate_sharded(&self, shards: usize, threads: usize) -> Result<FleetReport> {
+        self.simulate_sharded_seeded(self.seed, shards, threads)
+    }
+
+    /// [`simulate_sharded`](Self::simulate_sharded) with the seed
+    /// overridden — the entry point seed replication uses, sparing a
+    /// scenario deep-copy per replica.
+    ///
+    /// # Errors
+    ///
+    /// As [`simulate_sharded`](Self::simulate_sharded).
+    pub fn simulate_sharded_seeded(
+        &self,
+        seed: u64,
+        shards: usize,
+        threads: usize,
+    ) -> Result<FleetReport> {
+        self.validate()?;
+        let quotes = self.quote_table()?;
+        let plan = ShardPlan::new(self, Some(&quotes));
+        let cells: Vec<CellEngine> = plan
+            .cells
+            .iter()
+            .map(|spec| CellEngine::new(self, &quotes, spec))
+            .collect();
+        let workers = shards.max(1).min(threads.max(1)).min(cells.len());
+        let outcomes = if workers <= 1 {
+            run_serial(self, seed, cells, &plan.class_to_cell)
+        } else {
+            let window_s = window_len(self, &quotes);
+            run_windowed(self, seed, cells, &plan.class_to_cell, workers, window_s)
+        };
+        Ok(merge::assemble(self, &outcomes))
+    }
+}
+
+/// The generation window: the fleet's fastest per-frame quote is the
+/// lookahead floor (nothing observable happens on a finer scale), with
+/// a coarse floor of 1/[`MIN_WINDOWS`] horizon so short runs still
+/// pipeline across workers.
+fn window_len(scenario: &FleetScenario, quotes: &QuoteTable) -> f64 {
+    let lookahead = quotes.min_per_frame_s();
+    let floor = scenario.horizon_s / MIN_WINDOWS;
+    if lookahead.is_finite() && lookahead > floor {
+        lookahead
+    } else {
+        floor
+    }
+}
+
+/// Everything on the calling thread: stream arrivals straight into the
+/// owning cells (no buffering at all), then drain each cell in order.
+/// This is the `shards = 1` oracle path — and also what `simulate()`
+/// runs with a single whole-fleet cell.
+pub(crate) fn run_serial(
+    scenario: &FleetScenario,
+    seed: u64,
+    mut cells: Vec<CellEngine<'_>>,
+    class_to_cell: &[usize],
+) -> Vec<CellOutcome> {
+    let mut gen = ArrivalGen::new(scenario, seed);
+    while let Some(req) = gen.next() {
+        let cell = &mut cells[class_to_cell[req.class]];
+        cell.advance_through(req.arrival_s);
+        cell.admit(req);
+    }
+    cells.into_iter().map(CellEngine::finish).collect()
+}
+
+/// The parallel path: the calling thread generates arrivals in time
+/// windows and ships per-cell batches to `workers` threads over bounded
+/// channels (cells dealt round-robin to workers); each worker advances
+/// its cells through its batches and drains them when the stream closes.
+/// Outcomes are re-ordered by cell index before merging, so the report
+/// is independent of scheduling.
+fn run_windowed<'a>(
+    scenario: &'a FleetScenario,
+    seed: u64,
+    cells: Vec<CellEngine<'a>>,
+    class_to_cell: &[usize],
+    workers: usize,
+    window_s: f64,
+) -> Vec<CellOutcome> {
+    let n_cells = cells.len();
+    let mut groups: Vec<Vec<(usize, CellEngine)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, cell) in cells.into_iter().enumerate() {
+        groups[i % workers].push((i, cell));
+    }
+    let cell_worker: Vec<usize> = (0..n_cells).map(|i| i % workers).collect();
+
+    let mut outcomes: Vec<Option<CellOutcome>> = (0..n_cells).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut senders: Vec<mpsc::SyncSender<WindowBatch>> = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for group in groups {
+            let (tx, rx) = mpsc::sync_channel::<WindowBatch>(WINDOWS_IN_FLIGHT);
+            senders.push(tx);
+            handles.push(scope.spawn(move || {
+                let mut group = group;
+                for batch in rx {
+                    for (cell_idx, reqs) in batch {
+                        let (_, cell) = group
+                            .iter_mut()
+                            .find(|(i, _)| *i == cell_idx)
+                            .expect("batch routed to the worker owning its cell");
+                        for req in reqs {
+                            cell.advance_through(req.arrival_s);
+                            cell.admit(req);
+                        }
+                    }
+                }
+                group
+                    .into_iter()
+                    .map(|(i, cell)| (i, cell.finish()))
+                    .collect::<Vec<_>>()
+            }));
+        }
+
+        let mut gen = ArrivalGen::new(scenario, seed);
+        let mut bufs: Vec<Vec<Request>> = (0..n_cells).map(|_| Vec::new()).collect();
+        let mut t_edge = window_s;
+        loop {
+            while let Some(req) = gen.next_before(t_edge) {
+                bufs[class_to_cell[req.class]].push(req);
+            }
+            for (w, tx) in senders.iter().enumerate() {
+                let mut batch: WindowBatch = Vec::new();
+                for i in 0..n_cells {
+                    if cell_worker[i] == w && !bufs[i].is_empty() {
+                        batch.push((i, std::mem::take(&mut bufs[i])));
+                    }
+                }
+                if !batch.is_empty() {
+                    tx.send(batch).expect("worker outlives the generator");
+                }
+            }
+            if gen.exhausted() {
+                break;
+            }
+            t_edge += window_s;
+        }
+        drop(senders); // close the channels: workers drain and finish
+        for handle in handles {
+            for (i, outcome) in handle.join().expect("shard worker panicked") {
+                outcomes[i] = Some(outcome);
+            }
+        }
+    });
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("every cell reports exactly once"))
+        .collect()
+}

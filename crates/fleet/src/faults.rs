@@ -100,6 +100,26 @@ impl FaultTimeline {
         self.events.is_empty()
     }
 
+    /// The sub-timeline aimed at a contiguous instance `range`, with
+    /// instance indices remapped to be range-local — the slice a shard
+    /// cell (which owns a contiguous slab of the fleet) replays. Event
+    /// order is preserved, so slicing then replaying is exactly the
+    /// original timeline as seen from inside the range.
+    #[must_use]
+    pub fn slice_instances(&self, range: std::ops::Range<usize>) -> FaultTimeline {
+        FaultTimeline {
+            events: self
+                .events
+                .iter()
+                .filter(|e| range.contains(&e.instance))
+                .map(|e| FaultEvent {
+                    instance: e.instance - range.start,
+                    ..*e
+                })
+                .collect(),
+        }
+    }
+
     /// Validates the timeline against a fleet of `n_instances`.
     ///
     /// # Errors
@@ -426,6 +446,44 @@ mod tests {
         assert_eq!(tl.events()[0].at_s, 0.1);
         assert!(tl.validate(2).is_ok());
         assert!(tl.validate(1).is_err(), "instance 1 out of range");
+    }
+
+    #[test]
+    fn slice_instances_filters_and_remaps() {
+        let tl = FaultTimeline::from_events(vec![
+            FaultEvent {
+                at_s: 0.1,
+                instance: 0,
+                action: FaultAction::Fail,
+            },
+            FaultEvent {
+                at_s: 0.2,
+                instance: 2,
+                action: FaultAction::Recalibrate { duration_s: 0.01 },
+            },
+            FaultEvent {
+                at_s: 0.3,
+                instance: 3,
+                action: FaultAction::Fail,
+            },
+            FaultEvent {
+                at_s: 0.4,
+                instance: 2,
+                action: FaultAction::Fail,
+            },
+        ]);
+        let slice = tl.slice_instances(2..4);
+        assert_eq!(slice.len(), 3);
+        assert_eq!(slice.events()[0].instance, 0, "instance 2 → local 0");
+        assert_eq!(slice.events()[1].instance, 1, "instance 3 → local 1");
+        assert_eq!(slice.events()[2].instance, 0);
+        assert_eq!(slice.events()[0].at_s, 0.2);
+        assert!(slice.validate(2).is_ok());
+        // the union of disjoint slices covers the timeline
+        let rest = tl.slice_instances(0..2);
+        assert_eq!(rest.len() + slice.len(), tl.len());
+        // empty range → empty timeline
+        assert!(tl.slice_instances(1..1).is_empty());
     }
 
     #[test]

@@ -25,6 +25,12 @@
 //!   with bounded admission, greedy fastest-available placement, and
 //!   health-aware dispatch (degraded instances requote, failed ones
 //!   fail their work over, recalibrating ones drain and re-admit).
+//!   Future events live in an octave-bucketed hierarchical
+//!   [timing wheel](engine::wheel) (O(1) at any fleet size), and one
+//!   simulation scales across cores through the deterministic
+//!   [shard partition](engine::shard): same seed ⇒ bit-identical
+//!   report at every shard and thread count
+//!   ([`FleetScenario::simulate_sharded`](engine::FleetScenario::simulate_sharded)).
 //! * [`faults`] — fleet fault timelines over
 //!   `pcnna_photonics::degradation` and the named chaos scenarios
 //!   (heat wave, laser aging, channel-loss burst, rolling
@@ -76,7 +82,7 @@ pub mod par;
 pub mod scheduler;
 pub mod workload;
 
-pub use engine::FleetScenario;
+pub use engine::{FleetScenario, ShardPlan};
 pub use faults::{chaos_timeline, ChaosConfig, ChaosKind, FaultAction, FaultEvent, FaultTimeline};
 pub use metrics::{FleetReport, LatencySummary, ResilienceStats};
 pub use scheduler::Policy;
@@ -127,7 +133,7 @@ pub type Result<T> = core::result::Result<T, FleetError>;
 
 /// One-stop imports for scenario construction.
 pub mod prelude {
-    pub use crate::engine::FleetScenario;
+    pub use crate::engine::{FleetScenario, ShardPlan};
     pub use crate::faults::{
         chaos_timeline, ChaosConfig, ChaosKind, FaultAction, FaultEvent, FaultTimeline,
     };

@@ -313,6 +313,28 @@ impl Default for ResilienceStats {
     }
 }
 
+impl ResilienceStats {
+    /// Folds `other`'s **additive ledgers** into `self`: event counts,
+    /// downtime/offline seconds, failover/requote/unserved counts. The
+    /// shard merge calls this once per cell, in cell order.
+    ///
+    /// `availability` is deliberately **not** merged — it is a ratio
+    /// against the fleet-wide makespan and instance count, which no
+    /// single shard knows; the caller recomputes it from the merged
+    /// `offline_s` (`1 − offline / (makespan · instances)`). Until
+    /// then `self.availability` keeps its prior value.
+    pub fn merge(&mut self, other: &ResilienceStats) {
+        self.fault_events += other.fault_events;
+        self.hard_failures += other.hard_failures;
+        self.recalibrations += other.recalibrations;
+        self.recal_downtime_s += other.recal_downtime_s;
+        self.offline_s += other.offline_s;
+        self.failed_over += other.failed_over;
+        self.requotes += other.requotes;
+        self.unserved += other.unserved;
+    }
+}
+
 /// The result of one fleet simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetReport {
@@ -471,6 +493,108 @@ mod tests {
             assert!(v.is_finite());
             assert_eq!(v, 0.0);
         }
+    }
+
+    #[test]
+    fn histogram_merge_of_parts_equals_whole() {
+        // Split one sample set across four part-histograms, merge them,
+        // and compare against recording the whole set into one — and
+        // against the exact sort-based reference. Bins, counts, min,
+        // and max are integers/exact fields, so the merge must agree
+        // exactly; every reported quantile (a pure function of those)
+        // must be *identical*, not merely close.
+        let samples: Vec<f64> = (0..2_000)
+            .map(|i| 1e-4 * (1.0 + (i as f64 * 0.37).sin().abs()) + i as f64 * 1e-7)
+            .collect();
+        let mut whole = LatencyHistogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        let mut merged = LatencyHistogram::new();
+        for part_idx in 0..4 {
+            let mut part = LatencyHistogram::new();
+            for (i, &s) in samples.iter().enumerate() {
+                if i % 4 == part_idx {
+                    part.record(s);
+                }
+            }
+            merged.merge(&part);
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+        for q in [0.5, 0.95, 0.99, 0.999] {
+            assert_eq!(merged.quantile(q), whole.quantile(q), "q={q}");
+        }
+        // mean uses an f64 sum whose grouping differs; exact-value
+        // agreement is within rounding only
+        assert!((merged.mean() - whole.mean()).abs() <= 1e-12 * whole.mean().abs().max(1.0));
+        // and both agree with the exact sort-based reference within the
+        // histogram's documented 1% bound
+        let mut sorted = samples.clone();
+        let exact = LatencySummary::from_samples(&mut sorted);
+        let approx = LatencySummary::from_histogram(&merged);
+        for (a, e) in [
+            (approx.p50_s, exact.p50_s),
+            (approx.p95_s, exact.p95_s),
+            (approx.p99_s, exact.p99_s),
+            (approx.p999_s, exact.p999_s),
+        ] {
+            assert!((a - e).abs() <= 0.01 * e, "merged {a} vs exact {e}");
+        }
+        assert_eq!(approx.min_s, exact.min_s);
+        assert_eq!(approx.max_s, exact.max_s);
+    }
+
+    #[test]
+    fn resilience_merge_of_parts_equals_whole() {
+        let whole = ResilienceStats {
+            fault_events: 10,
+            hard_failures: 3,
+            recalibrations: 4,
+            recal_downtime_s: 0.25,
+            offline_s: 1.5,
+            availability: 1.0,
+            failed_over: 96,
+            requotes: 12,
+            unserved: 7,
+        };
+        // split the ledgers into two parts and merge them back
+        let a = ResilienceStats {
+            fault_events: 6,
+            hard_failures: 1,
+            recalibrations: 3,
+            recal_downtime_s: 0.125,
+            offline_s: 0.75,
+            availability: 1.0,
+            failed_over: 40,
+            requotes: 5,
+            unserved: 2,
+        };
+        let b = ResilienceStats {
+            fault_events: 4,
+            hard_failures: 2,
+            recalibrations: 1,
+            recal_downtime_s: 0.125,
+            offline_s: 0.75,
+            availability: 0.5, // must NOT leak into the merge target
+            failed_over: 56,
+            requotes: 7,
+            unserved: 5,
+        };
+        let mut merged = ResilienceStats::default();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.fault_events, whole.fault_events);
+        assert_eq!(merged.hard_failures, whole.hard_failures);
+        assert_eq!(merged.recalibrations, whole.recalibrations);
+        assert_eq!(merged.recal_downtime_s, whole.recal_downtime_s);
+        assert_eq!(merged.offline_s, whole.offline_s);
+        assert_eq!(merged.failed_over, whole.failed_over);
+        assert_eq!(merged.requotes, whole.requotes);
+        assert_eq!(merged.unserved, whole.unserved);
+        // availability untouched by merge (recomputed by the caller)
+        assert_eq!(merged.availability, 1.0);
     }
 
     #[test]

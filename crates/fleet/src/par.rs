@@ -91,10 +91,16 @@ where
 }
 
 /// Runs `scenario` once per seed, in parallel, returning the reports in
-/// seed order. Replicas share the borrowed scenario and override only the
-/// seed via [`FleetScenario::simulate_seeded`] — no per-replica deep copy
-/// of the classes' layer stacks. Quotes are recomputed per replica (they
-/// are cheap relative to a simulation run and this keeps replicas fully
+/// seed order — rebuilt on the shard infrastructure: each replica runs
+/// the **sharded engine** sequentially
+/// ([`FleetScenario::simulate_sharded_seeded`] at one shard worker), so
+/// the replica semantics are exactly the sharded semantics at any shard
+/// count (the `shards = 1` oracle), chaos fault timelines included, and
+/// the worker pool spends its parallelism across replicas — the right
+/// grain for replication, where replicas outnumber cores. Replicas share
+/// the borrowed scenario and override only the seed — no per-replica deep
+/// copy of the classes' layer stacks. Quotes are recomputed per replica
+/// (cheap — identical configs quote once — and this keeps replicas fully
 /// independent).
 ///
 /// # Errors
@@ -104,8 +110,9 @@ pub fn simulate_replicated(scenario: &FleetScenario, seeds: &[u64]) -> Result<Ve
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
-    let runs: Vec<Result<FleetReport>> =
-        par_map_slice(seeds, threads, |seed| scenario.simulate_seeded(seed));
+    let runs: Vec<Result<FleetReport>> = par_map_slice(seeds, threads, |seed| {
+        scenario.simulate_sharded_seeded(seed, 1, 1)
+    });
     runs.into_iter().collect()
 }
 

@@ -7,6 +7,12 @@
 //! therefore queue per class, and a policy's job is to pick **which class**
 //! an idle instance serves next; the batch is then up to `max_batch`
 //! requests popped from that class's queue in arrival order.
+//!
+//! Under the sharded engine each shard cell owns one [`ClassQueues`]
+//! over its *own* classes (indices are cell-local): a policy ranks the
+//! classes inside one shard, which is also why shard-count never changes
+//! results — the classes a policy may weigh against each other are fixed
+//! by the partition, not by who executes it.
 
 use crate::workload::Request;
 use serde::{Deserialize, Serialize};

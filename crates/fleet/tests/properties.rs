@@ -3,6 +3,7 @@
 use proptest::prelude::*;
 
 use pcnna_core::PcnnaConfig;
+use pcnna_fleet::engine::wheel::{EventTime, TimingWheel};
 use pcnna_fleet::prelude::*;
 
 /// A small scenario space: LeNet-class requests (cheap to quote and serve)
@@ -328,6 +329,138 @@ proptest! {
         let wide = par::par_map_slice(&seeds, 8, |seed| s.simulate_seeded(seed).unwrap());
         for (a, b) in serial.iter().zip(&wide) {
             prop_assert_eq!(a, b, "thread count changed a replica's metrics");
+        }
+    }
+}
+
+/// Random interleavings of pushes and pops for the wheel-vs-heap
+/// equivalence: `(delay_num, instance, pop_after)` per operation, with
+/// push times made monotone-from-last-pop the same way the engine's
+/// simulation clock is.
+fn wheel_programs() -> impl Strategy<Value = Vec<(u32, u32, bool)>> {
+    prop::collection::vec((0u32..1_000, 0u32..64, any::<bool>()), 1..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wheel_pops_in_heap_order(program in wheel_programs()) {
+        // The timing wheel must pop in *exactly* the order the replaced
+        // `BinaryHeap<Reverse<(EventTime, usize, u32)>>` would — that
+        // equivalence is why swapping the structure changed no
+        // simulation result. The stream honours the engine's one
+        // contract: every push is at or after the last popped time.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut wheel = TimingWheel::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u32, u32)>> = BinaryHeap::new();
+        let mut now = 0.0f64;
+        let mut epoch = 0u32;
+        for (delay_num, instance, pop_after) in program {
+            // times spread over ~6 decades to cross many octaves
+            let t = now + f64::from(delay_num) * f64::from(delay_num) * 1e-5;
+            let at = EventTime::try_new(t).unwrap();
+            wheel.push(at, instance, epoch);
+            heap.push(Reverse((at.bits(), instance, epoch)));
+            epoch = epoch.wrapping_add(1);
+            if pop_after {
+                let w = wheel.pop().unwrap();
+                let Reverse(h) = heap.pop().unwrap();
+                prop_assert_eq!((w.at.bits(), w.instance, w.epoch), h);
+                now = w.at.get();
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+        }
+        while let Some(w) = wheel.pop() {
+            let Reverse(h) = heap.pop().unwrap();
+            prop_assert_eq!((w.at.bits(), w.instance, w.epoch), h);
+        }
+        prop_assert!(heap.is_empty());
+    }
+}
+
+/// The chaos-matrix scenario shape at CI smoke size, as a function of
+/// the seed.
+fn chaos_base(seed: u64) -> FleetScenario {
+    FleetScenario {
+        classes: vec![
+            NetworkClass::alexnet(0.004, 1.0),
+            NetworkClass::lenet5(0.001, 3.0),
+        ],
+        arrival: ArrivalProcess::Poisson { rate_rps: 45_000.0 },
+        policy: Policy::NetworkAffinity,
+        instances: vec![PcnnaConfig::default(); 4],
+        queue_capacity: 100_000,
+        horizon_s: 0.05,
+        seed,
+        ..FleetScenario::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn sharded_chaos_reports_are_bit_identical_across_shards_and_threads(
+        seed in 0u64..1_000,
+    ) {
+        // The headline determinism contract of the sharded engine, for
+        // all four named chaos scenarios: the shards = 1 run is the
+        // oracle, and every (shards, threads) combination must
+        // reproduce it bit for bit — FleetReport implements PartialEq
+        // field-for-field, including every f64 ledger and histogram bin.
+        let base = chaos_base(seed);
+        let cfg = ChaosConfig { seed, ..ChaosConfig::default() };
+        for kind in ChaosKind::ALL {
+            let scenario = FleetScenario {
+                faults: chaos_timeline(kind, &base.instances, base.horizon_s, &cfg),
+                ..base.clone()
+            };
+            let oracle = scenario.simulate_sharded(1, 1).unwrap();
+            prop_assert!(oracle.completed > 0, "{kind:?}");
+            for (shards, threads) in [(2, 1), (2, 8), (4, 2), (8, 8)] {
+                let r = scenario.simulate_sharded(shards, threads).unwrap();
+                prop_assert_eq!(
+                    &oracle, &r,
+                    "{:?} diverged at shards={} threads={}", kind, shards, threads
+                );
+            }
+            // and the sharded engine honours the same conservation laws
+            prop_assert_eq!(oracle.offered, oracle.admitted + oracle.rejected, "{kind:?}");
+            prop_assert_eq!(
+                oracle.admitted,
+                oracle.completed + oracle.resilience.unserved,
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn replication_on_the_shard_engine_is_thread_invariant(
+        seed in 0u64..1_000,
+    ) {
+        // `par::simulate_replicated` now routes every replica through
+        // the sharded engine; the reports must still be a pure function
+        // of the seed list, chaos timelines included.
+        let base = chaos_base(seed);
+        let scenario = FleetScenario {
+            faults: chaos_timeline(
+                ChaosKind::ChannelLossBurst,
+                &base.instances,
+                base.horizon_s,
+                &ChaosConfig { seed, ..ChaosConfig::default() },
+            ),
+            ..base
+        };
+        let seeds: Vec<u64> = (0..4).map(|k| seed ^ (k * 7919)).collect();
+        let a = par::simulate_replicated(&scenario, &seeds).unwrap();
+        let b = par::simulate_replicated(&scenario, &seeds).unwrap();
+        prop_assert_eq!(&a, &b, "replication must reproduce");
+        // and each replica equals its direct sharded run
+        for (report, &s) in a.iter().zip(&seeds) {
+            let direct = scenario.simulate_sharded_seeded(s, 1, 1).unwrap();
+            prop_assert_eq!(report, &direct);
         }
     }
 }

@@ -185,6 +185,8 @@ pub(crate) struct ClassSlice {
     pub class: usize,
     pub admitted: u64,
     pub on_time: u64,
+    /// Requests of this class shed from the queue by the control plane.
+    pub shed: u64,
     pub hist: LatencyHistogram,
 }
 
@@ -235,6 +237,18 @@ pub(crate) struct CellEngine<'a> {
     epoch: Vec<u32>,
     serviceable: Vec<bool>,
     rank_buf: Vec<usize>,
+    // --- control-plane (autoscaling) state ---
+    /// Administratively powered off by the control plane. Parked time is
+    /// *not* offline time: availability measures faults, not elasticity.
+    parked: Vec<bool>,
+    /// Busy when a park was requested: drains its in-flight batch, then
+    /// parks at completion instead of re-admitting work.
+    park_pending: Vec<bool>,
+    /// Powering back on: boot + ring-lock/calibration in progress, with
+    /// a restore event pending on the control wheel (epoch-cancellable,
+    /// like a recalibration restore).
+    booting: Vec<bool>,
+    shed_per_class: Vec<u64>,
     res: ResilienceStats,
     // accounting
     offered: u64,
@@ -313,6 +327,10 @@ impl<'a> CellEngine<'a> {
             epoch: vec![0; n_instances],
             serviceable: vec![true; n_instances * n_classes],
             rank_buf: Vec::new(),
+            parked: vec![false; n_instances],
+            park_pending: vec![false; n_instances],
+            booting: vec![false; n_instances],
+            shed_per_class: vec![0; n_classes],
             res: ResilienceStats::default(),
         }
     }
@@ -390,6 +408,138 @@ impl<'a> CellEngine<'a> {
         self.last_event_s = self.last_event_s.max(ta);
     }
 
+    /// Turns one request away at the admission door (control-plane
+    /// throttling). Counted as offered and rejected, exactly like a
+    /// queue-full rejection, so `offered = admitted + rejected` holds
+    /// whatever the admission policy does.
+    pub(crate) fn refuse(&mut self, req: &Request) {
+        self.offered += 1;
+        self.rejected += 1;
+        self.last_event_s = self.last_event_s.max(req.arrival_s);
+    }
+
+    /// Sheds queued requests of a (global) class down to `keep`, dropping
+    /// the youngest first. The drops move to the `shed` ledger (distinct
+    /// from fault-caused `unserved`); conservation becomes
+    /// `admitted = completed + unserved + shed`. Returns how many were
+    /// dropped.
+    pub(crate) fn shed_queue_to(&mut self, global_class: usize, keep: usize) -> u64 {
+        let class = self.class_local[global_class];
+        debug_assert!(class != usize::MAX, "shed routed to the wrong shard cell");
+        let dropped = self.queues.shed_to_depth(class, keep);
+        self.shed_per_class[class] += dropped;
+        self.res.shed += dropped;
+        dropped
+    }
+
+    /// Powers an instance down (scale-down). An idle instance parks
+    /// immediately; a busy one drains its in-flight batch and parks at
+    /// completion; a booting one has its pending power-on **aborted** by
+    /// bumping the control-epoch token, which orphans the boot's restore
+    /// event on the wheel — the same cancellation mechanism hard
+    /// failures use. Offline/failed instances cannot be parked (they are
+    /// the fault ledger's business, not the autoscaler's). Parked time
+    /// does not count against availability. Returns whether the park was
+    /// accepted.
+    pub(crate) fn park_instance(&mut self, instance: usize) -> bool {
+        if self.parked[instance] || self.park_pending[instance] {
+            return true; // already parked or on its way
+        }
+        if self.booting[instance] {
+            // scale-down abort: orphan the scheduled boot restore
+            self.control_epoch[instance] = self.control_epoch[instance].wrapping_add(1);
+            self.booting[instance] = false;
+            self.parked[instance] = true;
+            return true;
+        }
+        if self.busy[instance].is_some() && self.up[instance] {
+            // drain: the in-flight batch finishes, then the park lands
+            self.up[instance] = false;
+            self.park_pending[instance] = true;
+            return true;
+        }
+        if self.up[instance] {
+            self.up[instance] = false;
+            self.eligible_count -= 1;
+            self.loaded[instance] = None;
+            self.parked[instance] = true;
+            return true;
+        }
+        false // failed / draining / recalibrating — not park-able
+    }
+
+    /// Powers a parked instance back on (scale-up). The instance is not
+    /// eligible until `ready_s` of boot + ring-lock/calibration elapse:
+    /// a restore event is scheduled on the control wheel — the same
+    /// drain/re-admit machinery recalibration uses, including requote
+    /// and cold weight banks on re-entry. Returns whether a boot was
+    /// started (only parked instances can boot).
+    pub(crate) fn unpark_instance(&mut self, instance: usize, t: f64, ready_s: f64) -> bool {
+        if !self.parked[instance] {
+            return false;
+        }
+        self.parked[instance] = false;
+        self.booting[instance] = true;
+        let at =
+            EventTime::try_new(t + ready_s).expect("boot time must be finite and non-negative");
+        self.control
+            .push(at, instance as u32, self.control_epoch[instance]);
+        true
+    }
+
+    // --- observer accessors (control plane reads, never writes) ---
+
+    /// Instances owned by this cell.
+    pub(crate) fn n_instances(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// In service or serving: counts toward provisioned capacity.
+    pub(crate) fn is_active(&self, instance: usize) -> bool {
+        self.up[instance] || self.busy[instance].is_some()
+    }
+
+    /// Up with no batch in flight — the cheapest instance to park.
+    pub(crate) fn is_idle(&self, instance: usize) -> bool {
+        self.up[instance] && self.busy[instance].is_none()
+    }
+
+    /// Powered off by the control plane.
+    pub(crate) fn is_parked(&self, instance: usize) -> bool {
+        self.parked[instance]
+    }
+
+    /// Mid power-on (boot + re-lock pending).
+    pub(crate) fn is_booting(&self, instance: usize) -> bool {
+        self.booting[instance]
+    }
+
+    /// Total queued requests.
+    pub(crate) fn queue_len(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Cumulative latency histogram of one (global) class — the observer
+    /// snapshots these and works on deltas.
+    pub(crate) fn class_hist(&self, global_class: usize) -> &LatencyHistogram {
+        &self.hist_per_class[self.class_local[global_class]]
+    }
+
+    /// Cumulative counters: `(offered, admitted, rejected, completed)`.
+    pub(crate) fn counters(&self) -> (u64, u64, u64, u64) {
+        (self.offered, self.admitted, self.rejected, self.completed)
+    }
+
+    /// Requests shed so far (all classes).
+    pub(crate) fn shed_total(&self) -> u64 {
+        self.res.shed
+    }
+
+    /// Total instance-seconds spent serving batches so far.
+    pub(crate) fn busy_time_total(&self) -> f64 {
+        self.busy_time_s.iter().sum()
+    }
+
     /// Drains every remaining event (arrivals are done) and closes the
     /// cell's books.
     pub(crate) fn finish(mut self) -> CellOutcome {
@@ -403,19 +553,23 @@ impl<'a> CellEngine<'a> {
             self.offline_s += (makespan_s - t0).max(0.0);
         }
         self.res.offline_s = self.offline_s;
-        self.res.unserved = self.admitted - self.completed;
+        self.res.unserved = self.admitted - self.completed - self.res.shed;
         let classes = self
             .classes
             .iter()
             .zip(self.hist_per_class)
             .zip(&self.on_time_per_class)
             .zip(&self.admitted_per_class)
-            .map(|(((&class, hist), &on_time), &admitted)| ClassSlice {
-                class,
-                admitted,
-                on_time,
-                hist,
-            })
+            .zip(&self.shed_per_class)
+            .map(
+                |((((&class, hist), &on_time), &admitted), &shed)| ClassSlice {
+                    class,
+                    admitted,
+                    on_time,
+                    shed,
+                    hist,
+                },
+            )
             .collect();
         CellOutcome {
             offered: self.offered,
@@ -451,6 +605,11 @@ impl<'a> CellEngine<'a> {
         if let Some(duration_s) = self.draining[instance].take() {
             // deferred recalibration: the drain just finished
             self.start_recalibration(instance, tc, duration_s);
+        } else if self.park_pending[instance] {
+            // deferred scale-down: the drain just finished, power off
+            self.park_pending[instance] = false;
+            self.parked[instance] = true;
+            self.loaded[instance] = None;
         } else if self.up[instance] {
             self.eligible_count += 1;
         }
@@ -463,15 +622,24 @@ impl<'a> CellEngine<'a> {
     /// re-derived, and the instance re-admits work.
     fn on_restore(&mut self, instance: usize, tr: f64) {
         self.recal_pending[instance] = false;
+        self.booting[instance] = false;
         self.health[instance] = self.health[instance].recalibrated();
         self.requote(instance);
-        self.up[instance] = true;
-        self.eligible_count += 1;
-        self.loaded[instance] = None;
         if let Some(t0) = self.offline_from[instance].take() {
             self.offline_s += (tr - t0).max(0.0);
         }
         self.last_event_s = self.last_event_s.max(tr);
+        if self.park_pending[instance] {
+            // the control plane asked for a park while the repair ran:
+            // come back healthy, then power straight off
+            self.park_pending[instance] = false;
+            self.parked[instance] = true;
+            self.loaded[instance] = None;
+            return;
+        }
+        self.up[instance] = true;
+        self.eligible_count += 1;
+        self.loaded[instance] = None;
         self.dispatch_idle(tr);
     }
 
@@ -479,12 +647,21 @@ impl<'a> CellEngine<'a> {
     fn apply_fault(&mut self, instance: usize, t: f64, action: FaultAction) {
         match action {
             FaultAction::Degrade(health) => {
+                // Aging and channel loss persist through a power-off, so
+                // the health update always lands; quotes are only re-derived
+                // for an instance that could serve right now — a parked or
+                // booting one requotes at its restore anyway.
                 self.health[instance] = health;
-                self.requote(instance);
+                if !self.parked[instance] && !self.booting[instance] {
+                    self.requote(instance);
+                }
             }
             FaultAction::Fail => self.fail_instance(instance, t),
             FaultAction::Recalibrate { duration_s } => {
-                if self.recal_pending[instance] {
+                if self.parked[instance] || self.booting[instance] {
+                    // powered off (or mid power-on, which already ends in
+                    // a full re-lock): nothing to recalibrate
+                } else if self.recal_pending[instance] {
                     // already mid-recalibration; the running window stands
                 } else if self.busy[instance].is_some() {
                     // drain: finish the in-flight batch, then recalibrate
@@ -538,6 +715,16 @@ impl<'a> CellEngine<'a> {
             self.control_epoch[instance] = self.control_epoch[instance].wrapping_add(1);
             self.res.recal_downtime_s -= (self.recal_until[instance] - t).max(0.0);
         }
+        // A failure also lands on top of any control-plane state: a boot
+        // in progress never finishes (cancel its restore event the same
+        // way), and a parked or park-pending instance is simply failed —
+        // the autoscaler sees it leave the parked pool.
+        if self.booting[instance] {
+            self.booting[instance] = false;
+            self.control_epoch[instance] = self.control_epoch[instance].wrapping_add(1);
+        }
+        self.parked[instance] = false;
+        self.park_pending[instance] = false;
         self.up[instance] = false;
         self.draining[instance] = None;
         self.loaded[instance] = None;

@@ -71,7 +71,10 @@ pub(crate) fn assemble(scenario: &FleetScenario, outcomes: &[CellOutcome]) -> Fl
     } else {
         1.0
     };
-    res.unserved = admitted - completed;
+    // `shed` folded additively above; what remains admitted but neither
+    // completed nor shed is stranded (conservation:
+    // `admitted = completed + unserved + shed`).
+    res.unserved = admitted - completed - res.shed;
 
     // Per-class reports and the all-classes histogram, folded in global
     // class order — the identical order the single-cell engine uses.
@@ -87,6 +90,8 @@ pub(crate) fn assemble(scenario: &FleetScenario, outcomes: &[CellOutcome]) -> Fl
             name: class.name.clone(),
             admitted: slice.admitted,
             completed: class_completed,
+            shed: slice.shed,
+            unserved: slice.admitted - class_completed - slice.shed,
             slo_attainment: if class_completed > 0 {
                 slice.on_time as f64 / class_completed as f64
             } else {

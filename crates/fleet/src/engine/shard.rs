@@ -312,7 +312,7 @@ impl ArrivalGen {
 
     /// The next request strictly before `t_edge`, buffering the first
     /// one at or past it (the window boundary).
-    fn next_before(&mut self, t_edge: f64) -> Option<Request> {
+    pub(crate) fn next_before(&mut self, t_edge: f64) -> Option<Request> {
         let req = self.next()?;
         if req.arrival_s < t_edge {
             Some(req)
@@ -322,7 +322,7 @@ impl ArrivalGen {
         }
     }
 
-    fn exhausted(&self) -> bool {
+    pub(crate) fn exhausted(&self) -> bool {
         self.done && self.pending.is_none()
     }
 }

@@ -35,6 +35,13 @@
 //!   `pcnna_photonics::degradation` and the named chaos scenarios
 //!   (heat wave, laser aging, channel-loss burst, rolling
 //!   recalibration) the CI scenario matrix replays.
+//! * [`control`] — the closed loop over all of the above: an observer
+//!   (windowed metric deltas), pluggable scaling/admission/shedding
+//!   policies (reactive hysteresis and predictive Holt-forecast), and
+//!   an actuator that boots and parks instances with realistic
+//!   boot + ring-lock cost
+//!   ([`FleetScenario::simulate_controlled`](engine::FleetScenario::simulate_controlled)) —
+//!   scored by SLO-attainment-per-watt against the always-on baseline.
 //! * [`metrics`] — p50/p95/p99/p999 latency, throughput, SLO attainment,
 //!   utilization, and energy-per-request built on the `pcnna-core` power
 //!   models.
@@ -75,6 +82,7 @@
 // as pcnna-core).
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod control;
 pub mod engine;
 pub mod faults;
 pub mod metrics;
@@ -82,6 +90,7 @@ pub mod par;
 pub mod scheduler;
 pub mod workload;
 
+pub use control::{ControlConfig, ControlledReport, PowerMetrics};
 pub use engine::{FleetScenario, ShardPlan};
 pub use faults::{chaos_timeline, ChaosConfig, ChaosKind, FaultAction, FaultEvent, FaultTimeline};
 pub use metrics::{FleetReport, LatencySummary, ResilienceStats};
@@ -133,6 +142,14 @@ pub type Result<T> = core::result::Result<T, FleetError>;
 
 /// One-stop imports for scenario construction.
 pub mod prelude {
+    pub use crate::control::observer::WindowObservation;
+    pub use crate::control::policy::{
+        Admission, ControlAction, ControlPolicy, FleetView, Hold, PredictivePolicy, ReactivePolicy,
+    };
+    pub use crate::control::{
+        power_metrics, uncontrolled_power_metrics, ControlConfig, ControlledReport, PowerMetrics,
+        WindowTrace,
+    };
     pub use crate::engine::{FleetScenario, ShardPlan};
     pub use crate::faults::{
         chaos_timeline, ChaosConfig, ChaosKind, FaultAction, FaultEvent, FaultTimeline,

@@ -107,6 +107,53 @@ impl LatencyHistogram {
         self.max = self.max.max(other.max);
     }
 
+    /// The windowed delta between this histogram and an `earlier`
+    /// snapshot of the *same* histogram: bin counts and totals subtract
+    /// exactly, so `earlier.merge(&delta)` reproduces the current bins
+    /// and count bit-for-bit (the merge-consistency contract the
+    /// regression test certifies).
+    ///
+    /// A snapshot is just a [`Clone`] — the bin array is a fixed-size
+    /// `Vec<u64>`, so snapshotting is one memcpy and the delta is one
+    /// pass of subtractions. `min`/`max` of the window are not recoverable
+    /// from two cumulative snapshots; the delta reports the covering bin
+    /// edges of its own nonzero range instead, which keeps quantiles
+    /// within the histogram's documented ~1% relative error.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &LatencyHistogram) -> LatencyHistogram {
+        debug_assert!(
+            self.count >= earlier.count,
+            "delta_since: earlier snapshot is newer than self"
+        );
+        let mut out = LatencyHistogram::new();
+        let mut first = None;
+        let mut last = None;
+        for (i, (a, b)) in self.bins.iter().zip(&earlier.bins).enumerate() {
+            debug_assert!(a >= b, "delta_since: bin {i} shrank");
+            let d = a.saturating_sub(*b);
+            out.bins[i] = d;
+            if d > 0 {
+                if first.is_none() {
+                    first = Some(i);
+                }
+                last = Some(i);
+            }
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = if out.count > 0 {
+            self.sum - earlier.sum
+        } else {
+            0.0
+        };
+        if let (Some(lo), Some(hi)) = (first, last) {
+            // Bin-edge bounds on the window's true extremes: the smallest
+            // delta sample is ≥ lower(lo) and the largest ≤ lower(hi+1).
+            out.min = Self::bin_lower(lo);
+            out.max = Self::bin_lower(hi + 1);
+        }
+        out
+    }
+
     /// Samples recorded.
     #[must_use]
     pub fn count(&self) -> u64 {
@@ -262,6 +309,15 @@ pub struct ClassReport {
     pub admitted: u64,
     /// Requests of this class completed.
     pub completed: u64,
+    /// Requests of this class deliberately dropped from the queue by the
+    /// control plane (load shedding) after admission.
+    #[serde(default)]
+    pub shed: u64,
+    /// Requests of this class admitted but never served and not shed —
+    /// stranded at end of run (fault-caused or backlog). Per class,
+    /// `admitted = completed + unserved + shed`.
+    #[serde(default)]
+    pub unserved: u64,
     /// Fraction of completed requests that met their SLO deadline.
     pub slo_attainment: f64,
     /// Latency order statistics.
@@ -291,9 +347,14 @@ pub struct ResilienceStats {
     pub failed_over: u64,
     /// Quote re-derivations triggered by health changes.
     pub requotes: u64,
+    /// Admitted requests deliberately dropped from the queue by the
+    /// control plane (load shedding). Distinct from `unserved`: shed
+    /// requests were sacrificed by policy, not stranded by faults.
+    #[serde(default)]
+    pub shed: u64,
     /// Admitted requests left unserved because no instance could take
     /// them before the run ended (every survivor drained; conservation:
-    /// `admitted = completed + unserved`).
+    /// `admitted = completed + unserved + shed`).
     pub unserved: u64,
 }
 
@@ -308,6 +369,7 @@ impl Default for ResilienceStats {
             availability: 1.0,
             failed_over: 0,
             requotes: 0,
+            shed: 0,
             unserved: 0,
         }
     }
@@ -331,6 +393,7 @@ impl ResilienceStats {
         self.offline_s += other.offline_s;
         self.failed_over += other.failed_over;
         self.requotes += other.requotes;
+        self.shed += other.shed;
         self.unserved += other.unserved;
     }
 }
@@ -413,26 +476,29 @@ impl FleetReport {
             1e3 * self.latency.max_s
         ));
         let r = &self.resilience;
-        if r.fault_events > 0 || r.unserved > 0 {
+        if r.fault_events > 0 || r.unserved > 0 || r.shed > 0 {
             out.push_str(&format!(
                 "faults {} (hard {}, recals {})  availability {:.2}%  \
-                 failed-over {}  unserved {}  recal downtime {:.3} ms\n",
+                 failed-over {}  shed {}  unserved {}  recal downtime {:.3} ms\n",
                 r.fault_events,
                 r.hard_failures,
                 r.recalibrations,
                 100.0 * r.availability,
                 r.failed_over,
+                r.shed,
                 r.unserved,
                 1e3 * r.recal_downtime_s
             ));
         }
         for c in &self.per_class {
             out.push_str(&format!(
-                "  {:<12} admitted {:<8} completed {:<8} SLO {:.2}%  \
-                 p50 {:.3} ms  p99 {:.3} ms\n",
+                "  {:<12} admitted {:<8} completed {:<8} shed {:<6} \
+                 unserved {:<6} SLO {:.2}%  p50 {:.3} ms  p99 {:.3} ms\n",
                 c.name,
                 c.admitted,
                 c.completed,
+                c.shed,
+                c.unserved,
                 100.0 * c.slo_attainment,
                 1e3 * c.latency.p50_s,
                 1e3 * c.latency.p99_s
@@ -557,6 +623,7 @@ mod tests {
             availability: 1.0,
             failed_over: 96,
             requotes: 12,
+            shed: 9,
             unserved: 7,
         };
         // split the ledgers into two parts and merge them back
@@ -569,6 +636,7 @@ mod tests {
             availability: 1.0,
             failed_over: 40,
             requotes: 5,
+            shed: 3,
             unserved: 2,
         };
         let b = ResilienceStats {
@@ -580,6 +648,7 @@ mod tests {
             availability: 0.5, // must NOT leak into the merge target
             failed_over: 56,
             requotes: 7,
+            shed: 6,
             unserved: 5,
         };
         let mut merged = ResilienceStats::default();
@@ -592,9 +661,54 @@ mod tests {
         assert_eq!(merged.offline_s, whole.offline_s);
         assert_eq!(merged.failed_over, whole.failed_over);
         assert_eq!(merged.requotes, whole.requotes);
+        assert_eq!(merged.shed, whole.shed);
         assert_eq!(merged.unserved, whole.unserved);
         // availability untouched by merge (recomputed by the caller)
         assert_eq!(merged.availability, 1.0);
+    }
+
+    #[test]
+    fn histogram_delta_since_is_merge_consistent() {
+        // Record a first batch, snapshot, record a second batch, and take
+        // the delta. The delta's bins and count must reproduce exactly
+        // what merging it back onto the snapshot yields — the windowed
+        // snapshot/delta contract the control-plane observer relies on.
+        let mut hist = LatencyHistogram::new();
+        for i in 0..1_500 {
+            hist.record(1e-4 * (1.0 + (i as f64 * 0.61).sin().abs()));
+        }
+        let snapshot = hist.clone();
+        let mut window_only = LatencyHistogram::new();
+        for i in 0..700 {
+            let v = 2.5e-3 * (1.0 + (i as f64 * 0.17).cos().abs());
+            hist.record(v);
+            window_only.record(v);
+        }
+        let delta = hist.delta_since(&snapshot);
+        assert_eq!(delta.count(), 700);
+        // merge-consistency: snapshot ⊕ delta == current, exactly
+        let mut rebuilt = snapshot.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt.count(), hist.count());
+        for q in [0.5, 0.95, 0.99, 0.999] {
+            assert_eq!(rebuilt.quantile(q), hist.quantile(q), "q={q}");
+        }
+        // the delta's quantiles match a histogram recorded only over the
+        // window, exactly: identical bins, and min/max bin edges bracket
+        // the true extremes within one bin (≤1% relative)
+        for q in [0.5, 0.99] {
+            let d = delta.quantile(q);
+            let w = window_only.quantile(q);
+            assert!((d - w).abs() <= 0.01 * w, "delta {d} vs window {w}");
+        }
+        assert!(delta.min() <= window_only.min());
+        assert!(delta.max() >= window_only.max());
+        assert!(delta.min() >= window_only.min() * (1.0 - 0.01));
+        assert!(delta.max() <= window_only.max() * (1.0 + 0.01));
+        // empty delta degrades like an empty histogram
+        let none = hist.delta_since(&hist.clone());
+        assert!(none.is_empty());
+        assert_eq!(none.quantile(0.99), 0.0);
     }
 
     #[test]

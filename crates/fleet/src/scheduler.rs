@@ -158,6 +158,20 @@ impl ClassQueues {
         out.extend(self.queues[class].drain(..take));
     }
 
+    /// Sheds the youngest queued requests of `class` until at most `keep`
+    /// remain, returning how many were dropped. Load-shedding path: the
+    /// oldest requests (closest to dispatch, most service already
+    /// invested in waiting) are kept; the newest — which would wait the
+    /// longest and miss their SLO anyway under overload — are cut from
+    /// the back. O(dropped).
+    pub fn shed_to_depth(&mut self, class: usize, keep: usize) -> u64 {
+        let q = &mut self.queues[class];
+        let drop = q.len().saturating_sub(keep);
+        q.truncate(q.len() - drop);
+        self.len -= drop;
+        drop as u64
+    }
+
     /// Returns an aborted batch's requests (given in arrival order) to
     /// the **front** of their class queue, draining `reqs`. Failover
     /// path: the requests were already admitted once, so they re-enter
@@ -265,6 +279,19 @@ mod tests {
             vec![0, 1, 2],
             "failed-over requests go back ahead of younger arrivals"
         );
+    }
+
+    #[test]
+    fn shed_to_depth_drops_youngest_from_the_back() {
+        let mut q = queues(); // class 1 holds ids 0,1,2 in arrival order
+        assert_eq!(q.shed_to_depth(1, 1), 2);
+        assert_eq!(q.class_len(1), 1);
+        assert_eq!(q.len(), 2);
+        let kept = q.pop_batch(1, 8);
+        assert_eq!(kept.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0]);
+        // shedding to a depth at or above the current one drops nothing
+        assert_eq!(q.shed_to_depth(0, 10), 0);
+        assert_eq!(q.class_len(0), 1);
     }
 
     #[test]

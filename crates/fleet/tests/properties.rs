@@ -465,6 +465,116 @@ proptest! {
     }
 }
 
+/// A scripted worst-case controller: every window it flips the scale
+/// target between the full fleet and the floor. With a boot time longer
+/// than the window, every second plan aborts boots still in flight —
+/// maximal exercise of the control-epoch cancellation path, on top of
+/// whatever fault timeline is running.
+struct Flapper {
+    n: usize,
+    tick: u64,
+}
+
+impl ControlPolicy for Flapper {
+    fn name(&self) -> &str {
+        "flapper"
+    }
+
+    fn plan(&mut self, _obs: &WindowObservation, view: &FleetView) -> ControlAction {
+        self.tick += 1;
+        ControlAction {
+            target_active: if self.tick.is_multiple_of(2) {
+                self.n
+            } else {
+                1
+            },
+            admission: vec![Admission::Open; view.n_classes],
+            shed_to: vec![None; view.n_classes],
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn controlled_runs_conserve_requests_and_reproduce(
+        s in faulty_scenarios(),
+        policy_ix in 0usize..2,
+        window_ms in 1u32..5,
+    ) {
+        // The closed loop must keep both conservation laws however the
+        // policy scales, throttles, or sheds — and stay a pure function
+        // of (scenario, config, policy). The dispatch-path debug_asserts
+        // (tests build with debug assertions) double-check that no
+        // scaling event ever routes work to a draining, parked, or
+        // absent instance.
+        let cfg = ControlConfig {
+            window_s: f64::from(window_ms) * 1e-3,
+            boot_s: 2e-3,
+            min_active: 1,
+            initial_active: usize::MAX,
+            max_step: 4,
+            idle_power_w: 2.0,
+        };
+        let fresh = || -> Box<dyn ControlPolicy> {
+            if policy_ix == 0 {
+                Box::new(ReactivePolicy::new())
+            } else {
+                Box::new(PredictivePolicy::new())
+            }
+        };
+        let a = s.simulate_controlled(&cfg, &mut *fresh()).unwrap();
+        let b = s.simulate_controlled(&cfg, &mut *fresh()).unwrap();
+        prop_assert_eq!(&a.report, &b.report, "controlled run must reproduce");
+        prop_assert_eq!(a.throttled, b.throttled);
+        let r = &a.report;
+        prop_assert_eq!(r.offered, r.admitted + r.rejected);
+        prop_assert_eq!(
+            r.admitted,
+            r.completed + r.resilience.unserved + r.resilience.shed,
+            "admitted = completed + unserved + shed"
+        );
+        let class_admitted: u64 = r.per_class.iter().map(|c| c.admitted).sum();
+        let class_shed: u64 = r.per_class.iter().map(|c| c.shed).sum();
+        let class_unserved: u64 = r.per_class.iter().map(|c| c.unserved).sum();
+        prop_assert_eq!(class_admitted, r.admitted);
+        prop_assert_eq!(class_shed, r.resilience.shed);
+        prop_assert_eq!(class_unserved, r.resilience.unserved);
+        for c in &r.per_class {
+            prop_assert_eq!(c.admitted, c.completed + c.shed + c.unserved, "per-class books");
+        }
+    }
+
+    #[test]
+    fn scale_down_aborts_cancel_in_flight_boots_cleanly(s in faulty_scenarios()) {
+        // Boot (2.5 ms) > window (1 ms): the flapper's every down-flip
+        // catches boots mid-flight, so the run leans entirely on the
+        // control-epoch token to cancel the pending restore events —
+        // stale tokens must be skipped, never double-admit an instance,
+        // and never corrupt the books, fault timeline included.
+        let cfg = ControlConfig {
+            window_s: 1e-3,
+            boot_s: 2.5e-3,
+            min_active: 1,
+            initial_active: usize::MAX,
+            max_step: 8,
+            idle_power_w: 2.0,
+        };
+        let n = s.instances.len();
+        let a = s.simulate_controlled(&cfg, &mut Flapper { n, tick: 0 }).unwrap();
+        let b = s.simulate_controlled(&cfg, &mut Flapper { n, tick: 0 }).unwrap();
+        prop_assert_eq!(&a.report, &b.report, "flapping run must reproduce");
+        prop_assert!(a.scale_downs > 0, "the flapper must actually park");
+        let r = &a.report;
+        prop_assert_eq!(r.offered, r.admitted + r.rejected);
+        prop_assert_eq!(
+            r.admitted,
+            r.completed + r.resilience.unserved + r.resilience.shed
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

@@ -1,0 +1,152 @@
+//! Closed-loop autoscaling walkthrough: a diurnal day in 400 ms.
+//!
+//! The arc: a fleet sized for the evening peak serves a 10:1 diurnal
+//! swing. Open-loop, every instance burns idle power all night for
+//! traffic that is not there. Close the loop and the control plane
+//! parks the fleet down the trough and boots it back up the ramp —
+//! reactive scaling follows the load one boot-time late; predictive
+//! scaling forecasts the ramp and boots ahead of it. The figure of
+//! merit is SLO-attainment-per-watt.
+//!
+//! Run with `cargo run --release --example autoscaling`.
+
+use pcnna::core::PcnnaConfig;
+use pcnna::fleet::prelude::*;
+
+/// Renders one controlled run's window trace as a sampled strip chart:
+/// provisioned instances (`#` active, `~` booting) against the arrival
+/// rate each window actually saw.
+fn print_trace(label: &str, r: &ControlledReport, every: usize) {
+    println!("{label} trace (one row per {every} windows):");
+    println!("    t(ms)  arrivals  queue  provision");
+    for w in r.trace.iter().step_by(every) {
+        println!(
+            "  {:7.1}  {:>8} {:>6}  {}{} {}",
+            1e3 * w.t_s,
+            w.arrivals,
+            w.queue_depth,
+            "#".repeat(w.active),
+            "~".repeat(w.booting),
+            w.active + w.booting,
+        );
+    }
+    println!();
+}
+
+fn main() {
+    // ---- 1. the day and the fleet ----------------------------------
+    // A compressed diurnal cycle: 9k rps at the trough, 90k at the
+    // peak, two full cycles in the horizon. The 8-instance fleet is
+    // sized for the peak — which means most of it is dead weight at
+    // 3 am.
+    let scenario = FleetScenario {
+        classes: vec![
+            NetworkClass::alexnet(0.004, 1.0), // 4 ms SLO
+            NetworkClass::lenet5(0.001, 3.0),  // 1 ms SLO, 3× traffic
+        ],
+        arrival: ArrivalProcess::Diurnal {
+            base_rps: 9_000.0,
+            peak_rps: 90_000.0,
+            period_s: 0.2,
+        },
+        policy: Policy::NetworkAffinity,
+        instances: vec![PcnnaConfig::default(); 8],
+        max_batch: 32,
+        queue_capacity: 100_000,
+        horizon_s: 0.4,
+        seed: 7,
+        ..FleetScenario::default()
+    };
+    let cfg = ControlConfig {
+        window_s: 0.002,            // observe + act every 2 ms
+        boot_s: 0.004,              // boot + ring-lock/calibration cost per scale-up
+        min_active: 1,              // never park the whole fleet
+        initial_active: usize::MAX, // start fully provisioned
+        max_step: 4,
+        idle_power_w: 2.0, // laser bias + thermal lock per powered instance
+    };
+
+    // ---- 2. open loop: the full fleet, all night -------------------
+    let open = scenario.simulate().unwrap();
+    let open_power = uncontrolled_power_metrics(&open, scenario.instances.len(), cfg.idle_power_w);
+    println!("open loop — all 8 instances powered for the whole day:");
+    println!(
+        "  SLO {:.2}%, p99 {:.3} ms, mean power {:.1} W, SLO-per-watt {:.5}",
+        100.0 * open.slo_attainment,
+        1e3 * open.latency.p99_s,
+        open_power.mean_power_w,
+        open_power.slo_per_watt
+    );
+    println!();
+
+    // ---- 3. closed loop, reactive ----------------------------------
+    // Hysteresis on this window's load factor: scales up the moment
+    // load crosses the threshold — which is one boot-time after it
+    // should have — and drifts down one instance at a time.
+    let reactive = scenario
+        .simulate_controlled(&cfg, &mut ReactivePolicy::new())
+        .unwrap();
+    print_trace("reactive", &reactive, 10);
+
+    // ---- 4. closed loop, predictive --------------------------------
+    // Holt double-EWMA forecast one boot-lead ahead: the ramp is in
+    // the trend term, so capacity is already locked and serving when
+    // the load lands.
+    let predictive = scenario
+        .simulate_controlled(&cfg, &mut PredictivePolicy::new())
+        .unwrap();
+    print_trace("predictive", &predictive, 10);
+
+    // ---- 5. the scoreboard -----------------------------------------
+    println!("policy      SLO %   p99 ms  avg inst  watts   SLO/W   scale up/down");
+    for (name, r, p) in [
+        ("open loop", &open, &open_power),
+        ("reactive", &reactive.report, &reactive.power),
+        ("predictive", &predictive.report, &predictive.power),
+    ] {
+        let mean_active = p.powered_instance_s / r.makespan_s;
+        println!(
+            "  {:<10} {:>6.2} {:>8.3} {:>8.2} {:>7.1} {:>7.5}   {}",
+            name,
+            100.0 * r.slo_attainment,
+            1e3 * r.latency.p99_s,
+            if name == "open loop" {
+                8.0
+            } else {
+                mean_active
+            },
+            p.mean_power_w,
+            p.slo_per_watt,
+            if name == "open loop" {
+                "-".to_owned()
+            } else if name == "reactive" {
+                format!("{}/{}", reactive.scale_ups, reactive.scale_downs)
+            } else {
+                format!("{}/{}", predictive.scale_ups, predictive.scale_downs)
+            }
+        );
+    }
+    println!();
+
+    // ---- 6. the takeaway -------------------------------------------
+    let r = &reactive.report;
+    assert_eq!(
+        r.admitted,
+        r.completed + r.resilience.unserved + r.resilience.shed,
+        "conservation: admitted = completed + unserved + shed"
+    );
+    println!(
+        "both controllers trade a few SLO points on the ramps for a \
+         {:.0}% power cut — SLO-per-watt {:.2}x (reactive) and {:.2}x \
+         (predictive) over the open loop",
+        100.0 * (1.0 - reactive.power.mean_power_w / open_power.mean_power_w),
+        reactive.power.slo_per_watt / open_power.slo_per_watt,
+        predictive.power.slo_per_watt / open_power.slo_per_watt,
+    );
+    println!(
+        "every number above reproduces bit-for-bit from seed {} — the \
+         controlled engine keeps the same determinism contract as the \
+         open-loop one",
+        scenario.seed
+    );
+}

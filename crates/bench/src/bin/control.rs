@@ -18,6 +18,7 @@
 //! driver runs the whole-fleet single cell — see the `control` module
 //! docs for the consistency model).
 
+use pcnna_bench::report::{assert_books, chaos_config, json_f, serving_classes, write_artifact};
 use pcnna_core::PcnnaConfig;
 use pcnna_fleet::prelude::*;
 use std::time::Instant;
@@ -65,10 +66,7 @@ fn base_scenario(smoke: bool, seed: u64) -> FleetScenario {
         (8, 90_000.0, 0.4, 0.2)
     };
     FleetScenario {
-        classes: vec![
-            NetworkClass::alexnet(0.004, 1.0),
-            NetworkClass::lenet5(0.001, 3.0),
-        ],
+        classes: serving_classes(),
         arrival: ArrivalProcess::Diurnal {
             base_rps: 0.1 * peak_rps,
             peak_rps,
@@ -103,12 +101,6 @@ fn control_config() -> ControlConfig {
         max_step: 4,
         idle_power_w: 2.0,
     }
-}
-
-fn json_f(v: f64) -> String {
-    // fixed precision keeps the record compact; f64 formatting itself is
-    // deterministic, so the byte-identity contract holds either way
-    format!("{v:.6}")
 }
 
 /// One measured (arrival × policy) cell.
@@ -152,19 +144,6 @@ impl Row {
             json_f(self.power.slo_per_watt),
         )
     }
-}
-
-fn assert_books(report: &FleetReport, label: &str) {
-    assert_eq!(
-        report.offered,
-        report.admitted + report.rejected,
-        "{label}: offered/admitted/rejected books must balance"
-    );
-    assert_eq!(
-        report.admitted,
-        report.completed + report.resilience.unserved + report.resilience.shed,
-        "{label}: conservation (admitted = completed + unserved + shed)"
-    );
 }
 
 fn open_loop_row(arrival: &'static str, scenario: &FleetScenario, cfg: &ControlConfig) -> Row {
@@ -261,11 +240,7 @@ fn measure(args: &Args) -> (String, Vec<Row>) {
 
     // Chaos × control: the four named degradation scenarios on the
     // diurnal workload, uncontrolled vs reactive.
-    let chaos_cfg = ChaosConfig {
-        recalibration_s: if args.smoke { 2e-3 } else { 10e-3 },
-        seed: args.seed,
-        ..ChaosConfig::default()
-    };
+    let chaos_cfg = chaos_config(args.smoke, args.seed);
     let mut chaos_rows = Vec::new();
     for kind in ChaosKind::ALL {
         let scenario = FleetScenario {
@@ -374,10 +349,7 @@ fn main() {
          chaos improved {chaos_improved}/4"
     );
 
-    match std::fs::write("BENCH_control.json", &json) {
-        Ok(()) => println!("wrote BENCH_control.json"),
-        Err(e) => eprintln!("could not write BENCH_control.json: {e}"),
-    }
+    write_artifact("BENCH_control.json", &json);
 
     if args.check {
         let mut failed = false;

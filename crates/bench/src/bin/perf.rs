@@ -60,7 +60,20 @@ struct Measurement {
     dse_evals_per_s: f64,
     dse_evaluated: u64,
     conv_gflop_s: f64,
+    telemetry: TelemetryMeasurement,
     mega: MegaMeasurement,
+}
+
+/// Enabled-vs-disabled telemetry overhead on the fleet workload (see
+/// `PERF.md` for the protocol). `disabled` runs the sharded engine with
+/// the zero-sized `NullSink` — the path every production caller takes —
+/// and `traced` the same scenario with a default-stride `TracingSink`.
+struct TelemetryMeasurement {
+    disabled_req_per_s: f64,
+    traced_req_per_s: f64,
+    /// `disabled / traced`: how many × slower full tracing runs.
+    overhead: f64,
+    events_recorded: u64,
 }
 
 struct MegaMeasurement {
@@ -184,6 +197,30 @@ fn measure(quick: bool, mega_shards: usize, mega_threads: usize) -> Measurement 
         scenario.simulate().expect("valid scenario").completed
     });
 
+    // --- telemetry overhead ----------------------------------------
+    // Same workload, sharded engine at (1, 1): the NullSink path must
+    // monomorphize to the untraced engine (`--check` gates the ratio),
+    // and the traced path's cost is recorded so PRs that touch the
+    // sink hooks leave a measured trail.
+    let tcfg = TraceConfig::default();
+    let (disabled_req_per_s, _) = best_rate(segments, || {
+        scenario.simulate_sharded(1, 1).expect("valid").completed
+    });
+    let mut events_recorded = 0u64;
+    let (traced_req_per_s, _) = best_rate(segments, || {
+        let (report, trace) = scenario
+            .simulate_sharded_traced(1, 1, &tcfg)
+            .expect("valid");
+        events_recorded = trace.profile.events_recorded;
+        report.completed
+    });
+    let telemetry = TelemetryMeasurement {
+        disabled_req_per_s,
+        traced_req_per_s,
+        overhead: disabled_req_per_s / traced_req_per_s.max(1e-9),
+        events_recorded,
+    };
+
     // --- dse --------------------------------------------------------
     let space = DesignSpace::default();
     let ev = Evaluator::alexnet();
@@ -217,6 +254,7 @@ fn measure(quick: bool, mega_shards: usize, mega_threads: usize) -> Measurement 
         dse_evals_per_s,
         dse_evaluated,
         conv_gflop_s: conv_flop_s / 1e9,
+        telemetry,
         mega: measure_mega(quick, mega_shards, mega_threads),
     }
 }
@@ -271,6 +309,14 @@ fn main() {
         m.dse_evals_per_s, m.dse_evaluated
     );
     println!("conv:  {:.2} GFLOP/s (blocked im2col)", m.conv_gflop_s);
+    println!(
+        "telemetry: NullSink {:.0} req/s, traced {:.0} req/s \
+         ({:.2}× overhead, {} events at default stride)",
+        m.telemetry.disabled_req_per_s,
+        m.telemetry.traced_req_per_s,
+        m.telemetry.overhead,
+        m.telemetry.events_recorded,
+    );
     let mega = &m.mega;
     println!(
         "mega_fleet: {} instances × {} classes, {} requests — \
@@ -296,6 +342,8 @@ fn main() {
         "{{\"bench\":\"perf\",\"mode\":\"{}\",\
          \"fleet_req_per_s\":{:.0},\"dse_evals_per_s\":{:.0},\
          \"conv_gflop_s\":{:.3},\"peak_rss_bytes\":{},\
+         \"telemetry\":{{\"disabled_req_per_s\":{:.0},\"traced_req_per_s\":{:.0},\
+         \"overhead\":{:.3},\"events_recorded\":{}}},\
          \"mega_fleet\":{{\"instances\":{},\"classes\":{},\"completed\":{},\
          \"mono_req_per_s\":{:.0},\"sharded_req_per_s\":{:.0},\
          \"shards\":{},\"threads\":{},\"speedup\":{:.2},\
@@ -308,6 +356,10 @@ fn main() {
         m.dse_evals_per_s,
         m.conv_gflop_s,
         rss,
+        m.telemetry.disabled_req_per_s,
+        m.telemetry.traced_req_per_s,
+        m.telemetry.overhead,
+        m.telemetry.events_recorded,
         mega.instances,
         mega.classes,
         mega.completed,
@@ -344,6 +396,22 @@ fn main() {
                 eprintln!("REGRESSION: {label} at {fresh:.0} < 70% of baseline {floor:.0}");
                 failed = true;
             }
+        }
+        // The telemetry gate: the NullSink sharded path must stay inside
+        // the same 30% envelope as the other hot paths — if the disabled
+        // sink stops monomorphizing away (a hook that isn't
+        // `if S::ENABLED`-guarded, a sink field that stops being
+        // zero-sized), this is where it shows up. Gated against the
+        // frozen fleet baseline: the sharded (1, 1) run of this workload
+        // matched it when the telemetry layer landed.
+        if m.telemetry.disabled_req_per_s < 0.70 * BASELINE_FLEET_REQ_PER_S {
+            eprintln!(
+                "REGRESSION: NullSink sharded path at {:.0} req/s < 70% of the \
+                 fleet baseline ({BASELINE_FLEET_REQ_PER_S:.0} req/s) — the \
+                 disabled sink is no longer free",
+                m.telemetry.disabled_req_per_s
+            );
+            failed = true;
         }
         // The mega gates: determinism is binary (any divergence fails);
         // the speedup floor is 70% of the 3× target — the architecture

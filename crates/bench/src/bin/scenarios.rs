@@ -17,6 +17,7 @@
 //! byte-identical files (the acceptance check `diff`s them across
 //! shard counts).
 
+use pcnna_bench::report::{assert_books, chaos_config, json_f, serving_classes, write_artifact};
 use pcnna_core::PcnnaConfig;
 use pcnna_fleet::prelude::*;
 use std::time::Instant;
@@ -90,10 +91,7 @@ fn base_scenario(smoke: bool, seed: u64) -> FleetScenario {
         (6, 90_000.0, 0.5)
     };
     FleetScenario {
-        classes: vec![
-            NetworkClass::alexnet(0.004, 1.0),
-            NetworkClass::lenet5(0.001, 3.0),
-        ],
+        classes: serving_classes(),
         arrival: ArrivalProcess::Poisson { rate_rps },
         policy: Policy::NetworkAffinity,
         instances: vec![PcnnaConfig::default(); fleet],
@@ -105,21 +103,11 @@ fn base_scenario(smoke: bool, seed: u64) -> FleetScenario {
     }
 }
 
-fn json_f(v: f64) -> String {
-    // fixed precision keeps the record compact; f64 formatting itself is
-    // deterministic, so the byte-identity contract holds either way
-    format!("{v:.6}")
-}
-
 fn main() {
     let args = parse_args();
     let t0 = Instant::now();
     let base = base_scenario(args.smoke, args.seed);
-    let chaos_cfg = ChaosConfig {
-        recalibration_s: if args.smoke { 2e-3 } else { 10e-3 },
-        seed: args.seed,
-        ..ChaosConfig::default()
-    };
+    let chaos_cfg = chaos_config(args.smoke, args.seed);
     let kinds: Vec<ChaosKind> = match args.only {
         Some(k) => vec![k],
         None => ChaosKind::ALL.to_vec(),
@@ -206,18 +194,7 @@ fn main() {
             r.unserved,
             1e3 * report.energy_per_request_j,
         );
-        assert_eq!(
-            report.offered,
-            report.admitted + report.rejected,
-            "{}: offered/admitted/rejected books must balance",
-            kind.name()
-        );
-        assert_eq!(
-            report.admitted,
-            report.completed + r.unserved,
-            "{}: conservation (no drops, no duplicates)",
-            kind.name()
-        );
+        assert_books(&report, kind.name());
         records.push(format!(
             "{{\"name\":\"{}\",\"offered\":{},\"completed\":{},\"rejected\":{},\
              \"slo_attainment\":{},\"baseline_slo\":{},\"p99_ms\":{},\
@@ -254,10 +231,7 @@ fn main() {
         json_f(base.horizon_s),
         records.join(",")
     );
-    match std::fs::write("BENCH_scenarios.json", &json) {
-        Ok(()) => println!("wrote BENCH_scenarios.json"),
-        Err(e) => eprintln!("could not write BENCH_scenarios.json: {e}"),
-    }
+    write_artifact("BENCH_scenarios.json", &json);
     println!(
         "all scenarios deterministic; matrix done in {:.2} s",
         t0.elapsed().as_secs_f64()

@@ -20,6 +20,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
 use pcnna_baselines::{AcceleratorModel, Eyeriss, YodaNn};
 use pcnna_cnn::geometry::ConvGeometry;
 use pcnna_cnn::zoo;

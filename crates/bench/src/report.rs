@@ -1,0 +1,102 @@
+//! Shared report plumbing for the fleet bench binaries.
+//!
+//! The `scenarios`, `control`, and `trace` bins all emit deterministic
+//! JSON artifacts under the same contract — no wall-clock fields,
+//! fixed-precision floats, conservation asserted before anything is
+//! written. This module is the single home for that contract so the
+//! bins cannot drift apart: number formatting ([`json_f`]), the
+//! bookkeeping invariant ([`assert_books`]), the shared serving mix
+//! ([`serving_classes`], [`chaos_config`]), and artifact writing
+//! ([`write_artifact`]).
+
+use pcnna_fleet::prelude::{ChaosConfig, FleetReport, NetworkClass};
+
+/// Formats a float for a deterministic JSON artifact: fixed six-digit
+/// precision keeps records compact, and `f64` formatting itself is
+/// deterministic, so the byte-identity contract holds either way.
+#[must_use]
+pub fn json_f(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+/// Asserts the fleet ledger balances: every offered request was
+/// admitted or rejected, and every admitted request reached exactly
+/// one terminal state (`admitted = completed + unserved + shed`).
+/// Open-loop runs have `shed = 0`, so the same invariant covers both
+/// bench paths.
+///
+/// # Panics
+///
+/// Panics (with `label` in the message) if either book is off — a
+/// dropped or duplicated request anywhere in the engine.
+pub fn assert_books(report: &FleetReport, label: &str) {
+    assert_eq!(
+        report.offered,
+        report.admitted + report.rejected,
+        "{label}: offered/admitted/rejected books must balance"
+    );
+    assert_eq!(
+        report.admitted,
+        report.completed + report.resilience.unserved + report.resilience.shed,
+        "{label}: conservation (admitted = completed + unserved + shed)"
+    );
+}
+
+/// The serving mix every fleet bench runs: a latency-tight AlexNet
+/// class against a cheap, heavily weighted LeNet class — enough
+/// contrast that scheduling and degradation visibly move per-class
+/// numbers.
+#[must_use]
+pub fn serving_classes() -> Vec<NetworkClass> {
+    vec![
+        NetworkClass::alexnet(0.004, 1.0),
+        NetworkClass::lenet5(0.001, 3.0),
+    ]
+}
+
+/// The chaos generator settings the bench bins share: a recalibration
+/// window sized to the mode's horizon and the run's seed, everything
+/// else at defaults.
+#[must_use]
+pub fn chaos_config(smoke: bool, seed: u64) -> ChaosConfig {
+    ChaosConfig {
+        recalibration_s: if smoke { 2e-3 } else { 10e-3 },
+        seed,
+        ..ChaosConfig::default()
+    }
+}
+
+/// Writes a bench artifact, reporting success on stdout and failure on
+/// stderr without aborting the run — CI treats the artifact as
+/// best-effort and gates on the in-process asserts instead.
+pub fn write_artifact(path: &str, payload: &str) {
+    match std::fs::write(path, payload) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_f_is_fixed_precision() {
+        assert_eq!(json_f(0.5), "0.500000");
+        assert_eq!(json_f(1.0 / 3.0), "0.333333");
+    }
+
+    #[test]
+    fn serving_classes_mix_is_stable() {
+        let classes = serving_classes();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0].name, "alexnet");
+        assert_eq!(classes[1].name, "lenet5");
+    }
+
+    #[test]
+    fn chaos_config_scales_recalibration_with_mode() {
+        assert!(chaos_config(true, 7).recalibration_s < chaos_config(false, 7).recalibration_s);
+        assert_eq!(chaos_config(true, 9).seed, 9);
+    }
+}

@@ -11,6 +11,7 @@
 //! park that takes it down.
 
 use crate::engine::core::CellEngine;
+use crate::telemetry::TraceSink;
 
 /// Applies clamped scaling plans and meters powered instance-time.
 pub(crate) struct Actuator {
@@ -29,8 +30,8 @@ pub(crate) struct Actuator {
 impl Actuator {
     /// Parks everything beyond `initial_active` (at t = 0, before any
     /// arrival) and opens the power ledger for the rest.
-    pub(crate) fn new(
-        cell: &mut CellEngine<'_>,
+    pub(crate) fn new<S: TraceSink>(
+        cell: &mut CellEngine<'_, S>,
         initial_active: usize,
         min_active: usize,
         max_step: usize,
@@ -39,7 +40,7 @@ impl Actuator {
         let n = cell.n_instances();
         let mut on_since = vec![Some(0.0); n];
         for (i, slot) in on_since.iter_mut().enumerate().skip(initial_active) {
-            let parked = cell.park_instance(i);
+            let parked = cell.park_instance(i, 0.0);
             debug_assert!(parked, "pristine instances must park");
             *slot = None;
         }
@@ -60,7 +61,12 @@ impl Actuator {
     /// park wastes the least work), highest-index first within each
     /// preference tier. The target is clamped to
     /// `[min_active, fleet size]` and to `max_step` moves per call.
-    pub(crate) fn apply(&mut self, cell: &mut CellEngine<'_>, target: usize, t: f64) {
+    pub(crate) fn apply<S: TraceSink>(
+        &mut self,
+        cell: &mut CellEngine<'_, S>,
+        target: usize,
+        t: f64,
+    ) {
         let n = cell.n_instances();
         let target = target.clamp(self.min_active.min(n), n);
         // Provisioned = powered per the ledger AND serving or booting.
@@ -99,7 +105,7 @@ impl Actuator {
                     if in_tier
                         && self.on_since[i].is_some()
                         && !cell.is_parked(i)
-                        && cell.park_instance(i)
+                        && cell.park_instance(i, t)
                     {
                         if let Some(t0) = self.on_since[i].take() {
                             self.powered_s += (t - t0).max(0.0);
@@ -116,12 +122,25 @@ impl Actuator {
     /// pool without the actuator hearing about it; re-open its power
     /// ledger so failed-but-unparked time is billed. Called once per
     /// window.
-    pub(crate) fn reconcile(&mut self, cell: &CellEngine<'_>, t: f64) {
+    pub(crate) fn reconcile<S: TraceSink>(&mut self, cell: &CellEngine<'_, S>, t: f64) {
         for i in 0..cell.n_instances() {
             if self.on_since[i].is_none() && !cell.is_parked(i) {
                 self.on_since[i] = Some(t);
             }
         }
+    }
+
+    /// Powered instance-seconds accumulated through time `t`: the
+    /// closed ledger plus every open interval priced as if it closed
+    /// now. The telemetry timeline differences this per window.
+    pub(crate) fn powered_through(&self, t: f64) -> f64 {
+        let open: f64 = self
+            .on_since
+            .iter()
+            .flatten()
+            .map(|t0| (t - t0).max(0.0))
+            .sum();
+        self.powered_s + open
     }
 
     /// Closes every open power interval at the run's makespan and

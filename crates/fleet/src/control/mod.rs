@@ -49,7 +49,11 @@ pub(crate) mod actuator;
 use crate::engine::core::CellEngine;
 use crate::engine::shard::{ArrivalGen, CellSpec};
 use crate::engine::{merge, FleetScenario, QuoteTable};
-use crate::metrics::FleetReport;
+use crate::metrics::{FleetReport, LatencyHistogram};
+use crate::telemetry::{
+    ControlTelemetry, FleetTrace, NullSink, TimeSeries, TraceConfig, TraceSink, TracingSink,
+    WindowSample,
+};
 use crate::{FleetError, Result};
 use actuator::Actuator;
 use observer::Observer;
@@ -256,6 +260,46 @@ impl FleetScenario {
         cfg: &ControlConfig,
         policy: &mut dyn ControlPolicy,
     ) -> Result<ControlledReport> {
+        let (report, _, _) = self.controlled_run(cfg, policy, NullSink, None)?;
+        Ok(report)
+    }
+
+    /// [`simulate_controlled`](Self::simulate_controlled) with the
+    /// telemetry layer recording: returns the ordinary controlled
+    /// report plus a [`ControlTelemetry`] — the sampled request trace
+    /// (whole-fleet single cell, so traces compare across reruns of the
+    /// same seed) and a per-window [`TimeSeries`] of queue depth,
+    /// utilization, health mix, per-class p50/p99, powered
+    /// instance-seconds, and the controller's decisions.
+    ///
+    /// # Errors
+    ///
+    /// As [`simulate_controlled`](Self::simulate_controlled).
+    pub fn simulate_controlled_traced(
+        &self,
+        cfg: &ControlConfig,
+        policy: &mut dyn ControlPolicy,
+        tcfg: &TraceConfig,
+    ) -> Result<(ControlledReport, ControlTelemetry)> {
+        let sink = TracingSink::new(0, self.classes.len(), tcfg);
+        let (report, sink, timeline) =
+            self.controlled_run(cfg, policy, sink, Some(tcfg.timeline_capacity))?;
+        let mut trace = FleetTrace::from_sinks(vec![sink]);
+        // one cell ledger plus one slot per class folded at assembly
+        trace.profile.merge_folds = 1 + self.classes.len() as u64;
+        let timeline = timeline.expect("recorder was requested");
+        Ok((report, ControlTelemetry { trace, timeline }))
+    }
+
+    /// The shared closed-loop driver, generic over the trace sink.
+    /// `timeline_capacity: Some(n)` turns the per-window recorder on.
+    fn controlled_run<S: TraceSink>(
+        &self,
+        cfg: &ControlConfig,
+        policy: &mut dyn ControlPolicy,
+        sink: S,
+        timeline_capacity: Option<usize>,
+    ) -> Result<(ControlledReport, S, Option<TimeSeries>)> {
         self.validate()?;
         cfg.validate()?;
         let quotes = self.quote_table()?;
@@ -264,7 +308,7 @@ impl FleetScenario {
         let initial_active = cfg.initial_active.clamp(min_active, n);
         let view = derive_view(self, &quotes, cfg, min_active);
         let spec = CellSpec::whole_fleet(self);
-        let mut cell = CellEngine::new(self, &quotes, &spec);
+        let mut cell = CellEngine::with_sink(self, &quotes, &spec, sink);
         let mut actuator = Actuator::new(
             &mut cell,
             initial_active,
@@ -279,6 +323,11 @@ impl FleetScenario {
         let mut throttled = 0u64;
         let mut windows = 0u64;
         let mut trace = Vec::new();
+        // telemetry recorder state (None when the recorder is off)
+        let n_classes = self.classes.len();
+        let mut timeline = timeline_capacity.map(TimeSeries::new);
+        let mut hist_snaps = vec![LatencyHistogram::new(); n_classes];
+        let mut powered_prev = 0.0;
         let mut t1 = cfg.window_s;
         loop {
             window_admitted.fill(0);
@@ -307,11 +356,43 @@ impl FleetScenario {
             let mut shed_now = 0u64;
             for (class, keep) in action.shed_to.iter().enumerate() {
                 if let Some(keep) = keep {
-                    shed_now += cell.shed_queue_to(class, *keep);
+                    shed_now += cell.shed_queue_to(class, *keep, t1);
                 }
             }
             admission.clone_from(&action.admission);
             actuator.apply(&mut cell, action.target_active, t1);
+            if let Some(series) = timeline.as_mut() {
+                let powered_now = actuator.powered_through(t1);
+                let mut class_p50_s = Vec::with_capacity(n_classes);
+                let mut class_p99_s = Vec::with_capacity(n_classes);
+                for (c, snap) in hist_snaps.iter_mut().enumerate() {
+                    let cur = cell.class_hist(c).clone();
+                    let delta = cur.delta_since(snap);
+                    class_p50_s.push(delta.quantile(0.50));
+                    class_p99_s.push(delta.quantile(0.99));
+                    *snap = cur;
+                }
+                let (classes_closed, classes_quota, shed_classes) = action.decision_counts();
+                series.push(WindowSample {
+                    index: obs.index,
+                    t_s: t1,
+                    queue_depth: obs.queue_depth,
+                    utilization: obs.utilization,
+                    arrivals: obs.arrivals,
+                    completed: obs.completed,
+                    shed: shed_now,
+                    throttled: obs.throttled,
+                    health: cell.health_mix(),
+                    class_p50_s,
+                    class_p99_s,
+                    powered_s: powered_now - powered_prev,
+                    target_active: action.target_active,
+                    classes_closed,
+                    classes_quota,
+                    shed_classes,
+                });
+                powered_prev = powered_now;
+            }
             trace.push(WindowTrace {
                 t_s: t1,
                 active: obs.active,
@@ -333,11 +414,11 @@ impl FleetScenario {
         }
         let scale_ups = actuator.scale_ups;
         let scale_downs = actuator.scale_downs;
-        let outcome = cell.finish();
+        let (outcome, sink) = cell.finish_with_sink();
         let report = merge::assemble(self, &[outcome]);
         let powered_instance_s = actuator.close(report.makespan_s);
         let power = power_metrics(&report, powered_instance_s, cfg.idle_power_w);
-        Ok(ControlledReport {
+        let controlled = ControlledReport {
             report,
             policy: policy.name().to_owned(),
             windows,
@@ -346,7 +427,8 @@ impl FleetScenario {
             throttled,
             power,
             trace,
-        })
+        };
+        Ok((controlled, sink, timeline))
     }
 }
 

@@ -11,6 +11,7 @@
 use crate::engine::core::CellEngine;
 use crate::engine::FleetScenario;
 use crate::metrics::LatencyHistogram;
+use crate::telemetry::TraceSink;
 use serde::{Deserialize, Serialize};
 
 /// Everything the control policy sees about one elapsed window.
@@ -97,9 +98,9 @@ impl Observer {
     /// snapshot. `throttled_cum` is the driver's cumulative count of
     /// admission-control refusals (the engine folds them into
     /// `rejected`; the observer separates them back out).
-    pub(crate) fn observe(
+    pub(crate) fn observe<S: TraceSink>(
         &mut self,
-        cell: &CellEngine<'_>,
+        cell: &CellEngine<'_, S>,
         t1: f64,
         throttled_cum: u64,
     ) -> WindowObservation {

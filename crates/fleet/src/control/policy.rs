@@ -61,6 +61,26 @@ impl ControlAction {
             shed_to: vec![None; view.n_classes],
         }
     }
+
+    /// The action's per-class stance counts —
+    /// `(classes closed, classes under quota, classes shed)` — the
+    /// compressed decision fingerprint the telemetry timeline records
+    /// per window.
+    #[must_use]
+    pub fn decision_counts(&self) -> (usize, usize, usize) {
+        let closed = self
+            .admission
+            .iter()
+            .filter(|a| matches!(a, Admission::Closed))
+            .count();
+        let quota = self
+            .admission
+            .iter()
+            .filter(|a| matches!(a, Admission::Quota(_)))
+            .count();
+        let shed = self.shed_to.iter().filter(|s| s.is_some()).count();
+        (closed, quota, shed)
+    }
 }
 
 /// Static facts about the fleet a policy plans against (derived once

@@ -40,6 +40,7 @@ use super::{FleetScenario, QuoteTable};
 use crate::faults::{FaultAction, FaultEvent};
 use crate::metrics::{LatencyHistogram, ResilienceStats};
 use crate::scheduler::{ClassQueues, Policy};
+use crate::telemetry::{HealthMix, NullSink, ProfileOp, TraceEventKind, TraceSink, NO_REQUEST};
 use crate::workload::Request;
 use pcnna_core::serving::{quote_degraded, ServiceQuote};
 use pcnna_photonics::degradation::HealthState;
@@ -191,7 +192,12 @@ pub(crate) struct ClassSlice {
 }
 
 /// One shard cell's discrete-event engine (module docs tell the story).
-pub(crate) struct CellEngine<'a> {
+///
+/// Generic over its [`TraceSink`]: the default [`NullSink`] has
+/// `ENABLED = false`, so every `if S::ENABLED` guard below is
+/// statically dead and the monomorphized default engine is exactly the
+/// uninstrumented one.
+pub(crate) struct CellEngine<'a, S: TraceSink = NullSink> {
     scenario: &'a FleetScenario,
     /// Local → global class index.
     classes: Vec<usize>,
@@ -263,10 +269,25 @@ pub(crate) struct CellEngine<'a> {
     admitted_per_class: Vec<u64>,
     hist_per_class: Vec<LatencyHistogram>,
     on_time_per_class: Vec<u64>,
+    /// Where lifecycle events and profile counts go (ZST when disabled).
+    sink: S,
 }
 
 impl<'a> CellEngine<'a> {
+    /// An untraced cell — the default engine every existing entry point
+    /// uses.
     pub(crate) fn new(scenario: &'a FleetScenario, quotes: &QuoteTable, spec: &CellSpec) -> Self {
+        CellEngine::with_sink(scenario, quotes, spec, NullSink)
+    }
+}
+
+impl<'a, S: TraceSink> CellEngine<'a, S> {
+    pub(crate) fn with_sink(
+        scenario: &'a FleetScenario,
+        quotes: &QuoteTable,
+        spec: &CellSpec,
+        sink: S,
+    ) -> Self {
         let n_classes = spec.classes.len();
         let n_instances = spec.instances.len();
         let mut class_local = vec![usize::MAX; scenario.classes.len()];
@@ -332,6 +353,7 @@ impl<'a> CellEngine<'a> {
             booting: vec![false; n_instances],
             shed_per_class: vec![0; n_classes],
             res: ResilienceStats::default(),
+            sink,
         }
     }
 
@@ -391,18 +413,33 @@ impl<'a> CellEngine<'a> {
     /// instant first.
     pub(crate) fn admit(&mut self, req: Request) {
         self.offered += 1;
+        // Sampling keys on the per-class arrival ordinal, which the
+        // shard plan fixes independently of shard/thread count.
+        let traced = S::ENABLED && self.sink.sample(req.class, req.id);
         let class = self.class_local[req.class];
         debug_assert!(
             class != usize::MAX,
             "request routed to the wrong shard cell"
         );
         let ta = req.arrival_s;
+        if traced {
+            self.sink
+                .event(TraceEventKind::Arrive, ta, req.id, req.class, usize::MAX);
+        }
         if self.queues.len() < self.queue_capacity {
+            if traced {
+                self.sink
+                    .event(TraceEventKind::Enqueue, ta, req.id, req.class, usize::MAX);
+            }
             self.queues.push(Request { class, ..req });
             self.admitted += 1;
             self.admitted_per_class[class] += 1;
             self.dispatch_idle(ta);
         } else {
+            if traced {
+                self.sink
+                    .event(TraceEventKind::Refuse, ta, req.id, req.class, usize::MAX);
+            }
             self.rejected += 1;
         }
         self.last_event_s = self.last_event_s.max(ta);
@@ -414,6 +451,13 @@ impl<'a> CellEngine<'a> {
     /// whatever the admission policy does.
     pub(crate) fn refuse(&mut self, req: &Request) {
         self.offered += 1;
+        if S::ENABLED && self.sink.sample(req.class, req.id) {
+            let ta = req.arrival_s;
+            self.sink
+                .event(TraceEventKind::Arrive, ta, req.id, req.class, usize::MAX);
+            self.sink
+                .event(TraceEventKind::Refuse, ta, req.id, req.class, usize::MAX);
+        }
         self.rejected += 1;
         self.last_event_s = self.last_event_s.max(req.arrival_s);
     }
@@ -423,10 +467,19 @@ impl<'a> CellEngine<'a> {
     /// from fault-caused `unserved`); conservation becomes
     /// `admitted = completed + unserved + shed`. Returns how many were
     /// dropped.
-    pub(crate) fn shed_queue_to(&mut self, global_class: usize, keep: usize) -> u64 {
+    pub(crate) fn shed_queue_to(&mut self, global_class: usize, keep: usize, now: f64) -> u64 {
         let class = self.class_local[global_class];
         debug_assert!(class != usize::MAX, "shed routed to the wrong shard cell");
-        let dropped = self.queues.shed_to_depth(class, keep);
+        let dropped = if S::ENABLED {
+            let sink = &mut self.sink;
+            self.queues.shed_to_depth_with(class, keep, |r| {
+                if sink.is_traced(r.id) {
+                    sink.event(TraceEventKind::Shed, now, r.id, global_class, usize::MAX);
+                }
+            })
+        } else {
+            self.queues.shed_to_depth(class, keep)
+        };
         self.shed_per_class[class] += dropped;
         self.res.shed += dropped;
         dropped
@@ -441,7 +494,7 @@ impl<'a> CellEngine<'a> {
     /// the fault ledger's business, not the autoscaler's). Parked time
     /// does not count against availability. Returns whether the park was
     /// accepted.
-    pub(crate) fn park_instance(&mut self, instance: usize) -> bool {
+    pub(crate) fn park_instance(&mut self, instance: usize, now: f64) -> bool {
         if self.parked[instance] || self.park_pending[instance] {
             return true; // already parked or on its way
         }
@@ -450,10 +503,12 @@ impl<'a> CellEngine<'a> {
             self.control_epoch[instance] = self.control_epoch[instance].wrapping_add(1);
             self.booting[instance] = false;
             self.parked[instance] = true;
+            self.trace_instance(TraceEventKind::Park, now, instance);
             return true;
         }
         if self.busy[instance].is_some() && self.up[instance] {
             // drain: the in-flight batch finishes, then the park lands
+            // (the Park trace event fires when it does)
             self.up[instance] = false;
             self.park_pending[instance] = true;
             return true;
@@ -463,6 +518,7 @@ impl<'a> CellEngine<'a> {
             self.eligible_count -= 1;
             self.loaded[instance] = None;
             self.parked[instance] = true;
+            self.trace_instance(TraceEventKind::Park, now, instance);
             return true;
         }
         false // failed / draining / recalibrating — not park-able
@@ -480,11 +536,26 @@ impl<'a> CellEngine<'a> {
         }
         self.parked[instance] = false;
         self.booting[instance] = true;
+        self.trace_instance(TraceEventKind::Boot, t, instance);
         let at =
             EventTime::try_new(t + ready_s).expect("boot time must be finite and non-negative");
         self.control
             .push(at, instance as u32, self.control_epoch[instance]);
         true
+    }
+
+    /// Records an instance-level trace event (no request attached);
+    /// statically dead when the sink is disabled.
+    fn trace_instance(&mut self, kind: TraceEventKind, t_s: f64, instance: usize) {
+        if S::ENABLED {
+            self.sink.event(
+                kind,
+                t_s,
+                NO_REQUEST,
+                usize::MAX,
+                self.instance_start + instance,
+            );
+        }
     }
 
     // --- observer accessors (control plane reads, never writes) ---
@@ -540,10 +611,51 @@ impl<'a> CellEngine<'a> {
         self.busy_time_s.iter().sum()
     }
 
-    /// Drains every remaining event (arrivals are done) and closes the
-    /// cell's books.
-    pub(crate) fn finish(mut self) -> CellOutcome {
+    /// Classifies every instance into the telemetry health mix. The
+    /// first seven buckets partition the fleet (drain states are
+    /// checked before `busy`, since a draining instance still has a
+    /// batch in flight); `degraded` is an overlay.
+    pub(crate) fn health_mix(&self) -> HealthMix {
+        let mut mix = HealthMix::default();
+        for i in 0..self.busy.len() {
+            if self.health[i] != HealthState::nominal() {
+                mix.degraded += 1;
+            }
+            if self.draining[i].is_some() || self.park_pending[i] {
+                mix.draining += 1;
+            } else if self.busy[i].is_some() {
+                mix.serving += 1;
+            } else if self.up[i] {
+                mix.idle += 1;
+            } else if self.booting[i] {
+                mix.booting += 1;
+            } else if self.parked[i] {
+                mix.parked += 1;
+            } else if self.recal_pending[i] {
+                mix.recalibrating += 1;
+            } else {
+                mix.failed += 1;
+            }
+        }
+        mix
+    }
+
+    /// Drains every remaining event (arrivals are done), closes the
+    /// cell's books, and hands the sink back — the traced drivers
+    /// collect per-cell sinks in cell-index order. The wheels'
+    /// lifetime push/pop counts flush into the profile here.
+    pub(crate) fn finish_with_sink(mut self) -> (CellOutcome, S) {
         self.advance_through(f64::INFINITY);
+        if S::ENABLED {
+            self.sink.count(
+                ProfileOp::WheelPush,
+                self.completions.pushes() + self.control.pushes(),
+            );
+            self.sink.count(
+                ProfileOp::WheelPop,
+                self.completions.pops() + self.control.pops(),
+            );
+        }
         // Close still-open offline intervals at the cell's makespan and
         // settle the resilience ledger. (Conservation under faults:
         // whatever capacity never came back leaves admitted-but-unserved
@@ -571,7 +683,7 @@ impl<'a> CellEngine<'a> {
                 },
             )
             .collect();
-        CellOutcome {
+        let outcome = CellOutcome {
             offered: self.offered,
             admitted: self.admitted,
             rejected: self.rejected,
@@ -585,7 +697,8 @@ impl<'a> CellEngine<'a> {
             per_instance_batches: self.per_instance_batches,
             classes,
             res: self.res,
-        }
+        };
+        (outcome, self.sink)
     }
 
     /// Completion event: the batch on `instance` finished at `tc`.
@@ -599,6 +712,15 @@ impl<'a> CellEngine<'a> {
                 self.on_time_per_class[class] += 1;
             }
             self.completed += 1;
+            if S::ENABLED && self.sink.is_traced(r.id) {
+                self.sink.event(
+                    TraceEventKind::Complete,
+                    tc,
+                    r.id,
+                    self.classes[class],
+                    self.instance_start + instance,
+                );
+            }
         }
         self.inflight.release(handle);
         self.last_event_s = self.last_event_s.max(tc);
@@ -610,6 +732,7 @@ impl<'a> CellEngine<'a> {
             self.park_pending[instance] = false;
             self.parked[instance] = true;
             self.loaded[instance] = None;
+            self.trace_instance(TraceEventKind::Park, tc, instance);
         } else if self.up[instance] {
             self.eligible_count += 1;
         }
@@ -635,11 +758,13 @@ impl<'a> CellEngine<'a> {
             self.park_pending[instance] = false;
             self.parked[instance] = true;
             self.loaded[instance] = None;
+            self.trace_instance(TraceEventKind::Park, tr, instance);
             return;
         }
         self.up[instance] = true;
         self.eligible_count += 1;
         self.loaded[instance] = None;
+        self.trace_instance(TraceEventKind::Readmit, tr, instance);
         self.dispatch_idle(tr);
     }
 
@@ -680,6 +805,7 @@ impl<'a> CellEngine<'a> {
     /// recalibration repairs it.
     fn fail_instance(&mut self, instance: usize, t: f64) {
         self.res.hard_failures += 1;
+        self.trace_instance(TraceEventKind::Failover, t, instance);
         if self.up[instance] && self.busy[instance].is_none() {
             self.eligible_count -= 1;
         }
@@ -701,6 +827,19 @@ impl<'a> CellEngine<'a> {
             self.per_instance_batches[instance] -= 1;
             let mut buf = std::mem::take(self.inflight.requests_mut(handle));
             self.res.failed_over += buf.len() as u64;
+            if S::ENABLED {
+                for r in &buf {
+                    if self.sink.is_traced(r.id) {
+                        self.sink.event(
+                            TraceEventKind::Failover,
+                            t,
+                            r.id,
+                            self.classes[class],
+                            self.instance_start + instance,
+                        );
+                    }
+                }
+            }
             self.queues.requeue_front(class, &mut buf);
             *self.inflight.requests_mut(handle) = buf; // keep the warm capacity
             self.inflight.release(handle);
@@ -736,6 +875,7 @@ impl<'a> CellEngine<'a> {
     /// Begins a recalibration window: the instance goes offline now and
     /// a restore event is scheduled `duration_s` later.
     fn start_recalibration(&mut self, instance: usize, t: f64, duration_s: f64) {
+        self.trace_instance(TraceEventKind::RecalDrain, t, instance);
         if self.up[instance] && self.busy[instance].is_none() {
             self.eligible_count -= 1;
         }
@@ -845,7 +985,14 @@ impl<'a> CellEngine<'a> {
         // residency there is no reload to save, so the matched arm is
         // skipped and the policy degenerates to its depth-first
         // fallback.
+        // The profiler's "dispatch scan" unit is instances examined by
+        // one candidate pass — each counted block below walks the whole
+        // instance slice once.
         if self.scenario.policy == Policy::NetworkAffinity && self.scenario.resident_weights {
+            if S::ENABLED {
+                self.sink
+                    .count(ProfileOp::DispatchScan, self.busy.len() as u64);
+            }
             let matched = (0..self.busy.len())
                 .filter(|&i| self.eligible(i))
                 .filter_map(|i| {
@@ -867,15 +1014,27 @@ impl<'a> CellEngine<'a> {
         // class has no eligible instance (drained, failed, or degraded
         // past feasibility) is the full preference ranking walked.
         let top = self.queues.select_class(self.scenario.policy)?;
+        if S::ENABLED {
+            self.sink
+                .count(ProfileOp::DispatchScan, self.busy.len() as u64);
+        }
         if let Some(i) = self.fastest_for(top) {
             return Some((top, i));
         }
         let mut ranked = core::mem::take(&mut self.rank_buf);
         self.queues
             .ranked_classes(self.scenario.policy, &mut ranked);
-        let choice = ranked
-            .iter()
-            .find_map(|&class| self.fastest_for(class).map(|i| (class, i)));
+        let mut choice = None;
+        for &class in &ranked {
+            if S::ENABLED {
+                self.sink
+                    .count(ProfileOp::DispatchScan, self.busy.len() as u64);
+            }
+            if let Some(i) = self.fastest_for(class) {
+                choice = Some((class, i));
+                break;
+            }
+        }
         self.rank_buf = ranked;
         choice
     }
@@ -907,6 +1066,21 @@ impl<'a> CellEngine<'a> {
             let done = now + service_s;
             let energy_j = self.service_energy_j(instance, class, n);
             self.inflight.note_dispatch(handle, now, done, energy_j);
+            if S::ENABLED {
+                // one time quote + one energy quote priced per batch
+                self.sink.count(ProfileOp::QuoteLookup, 2);
+                for r in self.inflight.requests(handle) {
+                    if self.sink.is_traced(r.id) {
+                        self.sink.event(
+                            TraceEventKind::Dispatch,
+                            now,
+                            r.id,
+                            self.classes[class],
+                            self.instance_start + instance,
+                        );
+                    }
+                }
+            }
             self.energy_j += energy_j;
             self.busy_time_s[instance] += service_s;
             self.batches += 1;

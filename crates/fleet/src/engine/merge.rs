@@ -98,6 +98,7 @@ pub(crate) fn assemble(scenario: &FleetScenario, outcomes: &[CellOutcome]) -> Fl
                 0.0
             },
             latency: LatencySummary::from_histogram(&slice.hist),
+            histogram: slice.hist.clone(),
         });
     }
 

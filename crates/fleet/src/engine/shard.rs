@@ -64,6 +64,7 @@ use super::core::{CellEngine, CellOutcome};
 use super::merge;
 use super::{FleetScenario, QuoteTable};
 use crate::metrics::FleetReport;
+use crate::telemetry::{FleetTrace, NullSink, TraceConfig, TraceSink, TracingSink};
 use crate::workload::{ArrivalSampler, ClassSampler, Request};
 use crate::Result;
 use rand::rngs::StdRng;
@@ -377,22 +378,71 @@ impl FleetScenario {
         shards: usize,
         threads: usize,
     ) -> Result<FleetReport> {
+        let pairs = self.sharded_outcomes(seed, shards, threads, |_| NullSink)?;
+        let outcomes: Vec<CellOutcome> = pairs.into_iter().map(|(o, _)| o).collect();
+        Ok(merge::assemble(self, &outcomes))
+    }
+
+    /// [`simulate_sharded`](Self::simulate_sharded) with the telemetry
+    /// layer recording: returns the ordinary report plus the merged
+    /// [`FleetTrace`] (sampled request lifecycles and the engine
+    /// profile).
+    ///
+    /// **Determinism contract:** the trace inherits the report's — the
+    /// shard plan fixes the cells and their event order independently
+    /// of `(shards, threads)`, per-cell events carry dense
+    /// `(cell, seq)` ids, and cells merge in cell-index order, so the
+    /// rendered JSONL is byte-identical at any shard/thread count for
+    /// the same seed.
+    ///
+    /// # Errors
+    ///
+    /// As [`simulate_sharded`](Self::simulate_sharded).
+    pub fn simulate_sharded_traced(
+        &self,
+        shards: usize,
+        threads: usize,
+        cfg: &TraceConfig,
+    ) -> Result<(FleetReport, FleetTrace)> {
+        let n_classes = self.classes.len();
+        let pairs = self.sharded_outcomes(self.seed, shards, threads, |cell| {
+            TracingSink::new(cell, n_classes, cfg)
+        })?;
+        let (outcomes, sinks): (Vec<CellOutcome>, Vec<TracingSink>) = pairs.into_iter().unzip();
+        let report = merge::assemble(self, &outcomes);
+        let mut trace = FleetTrace::from_sinks(sinks);
+        // assemble() folds one ledger per cell and one slot per class
+        trace.profile.merge_folds = outcomes.len() as u64 + n_classes as u64;
+        Ok((report, trace))
+    }
+
+    /// The shared sharded driver: builds the plan's cells (each with
+    /// the sink `make_sink(cell_index)` returns), runs them serially or
+    /// windowed across workers, and returns `(outcome, sink)` pairs in
+    /// cell-index order.
+    fn sharded_outcomes<S: TraceSink + Send>(
+        &self,
+        seed: u64,
+        shards: usize,
+        threads: usize,
+        mut make_sink: impl FnMut(usize) -> S,
+    ) -> Result<Vec<(CellOutcome, S)>> {
         self.validate()?;
         let quotes = self.quote_table()?;
         let plan = ShardPlan::new(self, Some(&quotes));
-        let cells: Vec<CellEngine> = plan
+        let cells: Vec<CellEngine<'_, S>> = plan
             .cells
             .iter()
-            .map(|spec| CellEngine::new(self, &quotes, spec))
+            .enumerate()
+            .map(|(i, spec)| CellEngine::with_sink(self, &quotes, spec, make_sink(i)))
             .collect();
         let workers = shards.max(1).min(threads.max(1)).min(cells.len());
-        let outcomes = if workers <= 1 {
-            run_serial(self, seed, cells, &plan.class_to_cell)
+        Ok(if workers <= 1 {
+            run_serial_sinks(self, seed, cells, &plan.class_to_cell)
         } else {
             let window_s = window_len(self, &quotes);
             run_windowed(self, seed, cells, &plan.class_to_cell, workers, window_s)
-        };
-        Ok(merge::assemble(self, &outcomes))
+        })
     }
 }
 
@@ -414,19 +464,35 @@ fn window_len(scenario: &FleetScenario, quotes: &QuoteTable) -> f64 {
 /// owning cells (no buffering at all), then drain each cell in order.
 /// This is the `shards = 1` oracle path — and also what `simulate()`
 /// runs with a single whole-fleet cell.
-pub(crate) fn run_serial(
+pub(crate) fn run_serial<S: TraceSink>(
     scenario: &FleetScenario,
     seed: u64,
-    mut cells: Vec<CellEngine<'_>>,
+    cells: Vec<CellEngine<'_, S>>,
     class_to_cell: &[usize],
 ) -> Vec<CellOutcome> {
+    run_serial_sinks(scenario, seed, cells, class_to_cell)
+        .into_iter()
+        .map(|(outcome, _)| outcome)
+        .collect()
+}
+
+/// [`run_serial`] keeping each cell's sink paired with its outcome.
+fn run_serial_sinks<S: TraceSink>(
+    scenario: &FleetScenario,
+    seed: u64,
+    mut cells: Vec<CellEngine<'_, S>>,
+    class_to_cell: &[usize],
+) -> Vec<(CellOutcome, S)> {
     let mut gen = ArrivalGen::new(scenario, seed);
     while let Some(req) = gen.next() {
         let cell = &mut cells[class_to_cell[req.class]];
         cell.advance_through(req.arrival_s);
         cell.admit(req);
     }
-    cells.into_iter().map(CellEngine::finish).collect()
+    cells
+        .into_iter()
+        .map(CellEngine::finish_with_sink)
+        .collect()
 }
 
 /// The parallel path: the calling thread generates arrivals in time
@@ -435,22 +501,23 @@ pub(crate) fn run_serial(
 /// its cells through its batches and drains them when the stream closes.
 /// Outcomes are re-ordered by cell index before merging, so the report
 /// is independent of scheduling.
-fn run_windowed<'a>(
+fn run_windowed<'a, S: TraceSink + Send>(
     scenario: &'a FleetScenario,
     seed: u64,
-    cells: Vec<CellEngine<'a>>,
+    cells: Vec<CellEngine<'a, S>>,
     class_to_cell: &[usize],
     workers: usize,
     window_s: f64,
-) -> Vec<CellOutcome> {
+) -> Vec<(CellOutcome, S)> {
     let n_cells = cells.len();
-    let mut groups: Vec<Vec<(usize, CellEngine)>> = (0..workers).map(|_| Vec::new()).collect();
+    let mut groups: Vec<Vec<(usize, CellEngine<'a, S>)>> =
+        (0..workers).map(|_| Vec::new()).collect();
     for (i, cell) in cells.into_iter().enumerate() {
         groups[i % workers].push((i, cell));
     }
     let cell_worker: Vec<usize> = (0..n_cells).map(|i| i % workers).collect();
 
-    let mut outcomes: Vec<Option<CellOutcome>> = (0..n_cells).map(|_| None).collect();
+    let mut outcomes: Vec<Option<(CellOutcome, S)>> = (0..n_cells).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut senders: Vec<mpsc::SyncSender<WindowBatch>> = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
@@ -473,7 +540,7 @@ fn run_windowed<'a>(
                 }
                 group
                     .into_iter()
-                    .map(|(i, cell)| (i, cell.finish()))
+                    .map(|(i, cell)| (i, cell.finish_with_sink()))
                     .collect::<Vec<_>>()
             }));
         }

@@ -138,6 +138,12 @@ pub struct TimingWheel {
     /// pushes must be at or after this time (simulation monotonicity).
     floor_bits: u64,
     len: usize,
+    /// Lifetime insertion count — two plain increments feeding the
+    /// telemetry profile; kept unconditionally because they are noise
+    /// next to the bucket work they count.
+    pushes: u64,
+    /// Lifetime pop count.
+    pops: u64,
 }
 
 impl Default for TimingWheel {
@@ -156,7 +162,21 @@ impl TimingWheel {
             occupied: 0,
             floor_bits: 0,
             len: 0,
+            pushes: 0,
+            pops: 0,
         }
+    }
+
+    /// Lifetime number of events pushed.
+    #[must_use]
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Lifetime number of events popped.
+    #[must_use]
+    pub fn pops(&self) -> u64 {
+        self.pops
     }
 
     /// Pending events.
@@ -217,6 +237,7 @@ impl TimingWheel {
         }
         self.occupied |= 1u128 << lvl;
         self.len += 1;
+        self.pushes += 1;
     }
 
     /// The earliest pending event, without removing it. O(1).
@@ -245,6 +266,7 @@ impl TimingWheel {
         }
         let ev = self.buckets[0].pop().expect("advance fills the front");
         self.len -= 1;
+        self.pops += 1;
         if self.buckets[0].is_empty() {
             self.occupied &= !1u128;
         }

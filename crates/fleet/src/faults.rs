@@ -25,6 +25,15 @@
 //! and [`chaos_timeline`] generates each deterministically from a
 //! seed, scaled to the scenario horizon so the same shapes work for a
 //! 50 ms smoke run and a multi-second soak.
+//!
+//! Every fault the engine applies is visible to the telemetry layer
+//! (see [`telemetry`](crate::telemetry)): a [`FaultAction::Fail`]
+//! surfaces as one instance-level `failover` trace event plus one
+//! per sampled in-flight request, a [`FaultAction::Recalibrate`]
+//! as a `recal-drain` when the drain starts and a `readmit` when the
+//! instance returns to service. Because the timeline is deterministic
+//! and per-instance, traced chaos runs are byte-identical across
+//! shard and thread counts.
 
 use pcnna_core::config::PcnnaConfig;
 use pcnna_photonics::degradation::{

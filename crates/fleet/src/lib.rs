@@ -42,6 +42,12 @@
 //!   boot + ring-lock cost
 //!   ([`FleetScenario::simulate_controlled`](engine::FleetScenario::simulate_controlled)) —
 //!   scored by SLO-attainment-per-watt against the always-on baseline.
+//! * [`telemetry`] — deterministic observability over the engine:
+//!   sampled request-lifecycle traces, control-window time series, and
+//!   engine self-profiling, all byte-identical for a given seed at any
+//!   shard/thread count and compiled out by default through the
+//!   zero-sized [`NullSink`]
+//!   ([`FleetScenario::simulate_sharded_traced`](engine::FleetScenario::simulate_sharded_traced)).
 //! * [`metrics`] — p50/p95/p99/p999 latency, throughput, SLO attainment,
 //!   utilization, and energy-per-request built on the `pcnna-core` power
 //!   models.
@@ -88,6 +94,7 @@ pub mod faults;
 pub mod metrics;
 pub mod par;
 pub mod scheduler;
+pub mod telemetry;
 pub mod workload;
 
 pub use control::{ControlConfig, ControlledReport, PowerMetrics};
@@ -95,6 +102,7 @@ pub use engine::{FleetScenario, ShardPlan};
 pub use faults::{chaos_timeline, ChaosConfig, ChaosKind, FaultAction, FaultEvent, FaultTimeline};
 pub use metrics::{FleetReport, LatencySummary, ResilienceStats};
 pub use scheduler::Policy;
+pub use telemetry::{FleetTrace, NullSink, TraceConfig, TraceSink, TracingSink};
 pub use workload::{ArrivalProcess, NetworkClass, Request, TrafficMix};
 
 /// Errors produced by the fleet simulator.
@@ -157,6 +165,10 @@ pub mod prelude {
     pub use crate::metrics::{FleetReport, LatencyHistogram, LatencySummary, ResilienceStats};
     pub use crate::par;
     pub use crate::scheduler::Policy;
+    pub use crate::telemetry::{
+        ControlTelemetry, FleetTrace, HealthMix, NullSink, Profile, TimeSeries, TraceConfig,
+        TraceEvent, TraceEventKind, TraceSink, TracingSink, WindowSample,
+    };
     pub use crate::workload::{ArrivalProcess, ClassSampler, NetworkClass, TrafficMix};
     pub use pcnna_photonics::degradation::{DegradationLimits, HealthState};
 }

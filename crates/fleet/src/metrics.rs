@@ -322,6 +322,12 @@ pub struct ClassReport {
     pub slo_attainment: f64,
     /// Latency order statistics.
     pub latency: LatencySummary,
+    /// The class's full latency histogram. Exact under merge: the
+    /// histogram of a sharded run equals the bin-wise sum of its parts,
+    /// so downstream consumers (the telemetry timeline, offline
+    /// analysis) can re-window or re-quantile without re-running.
+    #[serde(default)]
+    pub histogram: LatencyHistogram,
 }
 
 /// Resilience accounting for a run with a fault timeline. All-zero

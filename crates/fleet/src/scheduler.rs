@@ -165,8 +165,24 @@ impl ClassQueues {
     /// longest and miss their SLO anyway under overload — are cut from
     /// the back. O(dropped).
     pub fn shed_to_depth(&mut self, class: usize, keep: usize) -> u64 {
+        self.shed_to_depth_with(class, keep, |_| {})
+    }
+
+    /// [`shed_to_depth`](Self::shed_to_depth) that also visits every
+    /// dropped request (oldest dropped first) before it is cut — the
+    /// telemetry layer's shed hook. The closure must not touch the
+    /// queues; it only observes the victims.
+    pub fn shed_to_depth_with(
+        &mut self,
+        class: usize,
+        keep: usize,
+        mut on_drop: impl FnMut(&Request),
+    ) -> u64 {
         let q = &mut self.queues[class];
         let drop = q.len().saturating_sub(keep);
+        for r in q.iter().skip(q.len() - drop) {
+            on_drop(r);
+        }
         q.truncate(q.len() - drop);
         self.len -= drop;
         drop as u64

@@ -610,3 +610,154 @@ proptest! {
         prop_assert_eq!(batched.offered, unbatched.offered);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn traced_chaos_runs_are_byte_identical_across_shards_and_threads(
+        seed in 0u64..1_000,
+    ) {
+        // The telemetry determinism contract, for all four named chaos
+        // scenarios: the rendered JSONL trace — every event, every
+        // (cell, seq) id, every formatted f64 timestamp — is a pure
+        // function of the scenario, whatever (shards, threads) executed
+        // it. Cell decomposition never depends on who runs the cells,
+        // so neither does the trace.
+        let base = chaos_base(seed);
+        let cfg = ChaosConfig { seed, ..ChaosConfig::default() };
+        let tcfg = TraceConfig { stride: 16, ..TraceConfig::default() };
+        for kind in ChaosKind::ALL {
+            let scenario = FleetScenario {
+                faults: chaos_timeline(kind, &base.instances, base.horizon_s, &cfg),
+                ..base.clone()
+            };
+            let (oracle_report, oracle_trace) =
+                scenario.simulate_sharded_traced(1, 1, &tcfg).unwrap();
+            let oracle_jsonl = oracle_trace.render_jsonl();
+            prop_assert!(
+                oracle_trace.profile.events_recorded > 0,
+                "{kind:?}: the sampler must catch something at stride 16"
+            );
+            // tracing is observation only: the report is the untraced one
+            let plain = scenario.simulate_sharded(1, 1).unwrap();
+            prop_assert_eq!(&oracle_report, &plain, "{:?}: sink must not steer", kind);
+            for shards in [1usize, 2, 4, 8] {
+                for threads in [1usize, 2, 8] {
+                    let (report, trace) = scenario
+                        .simulate_sharded_traced(shards, threads, &tcfg)
+                        .unwrap();
+                    prop_assert_eq!(&report, &oracle_report, "{:?}", kind);
+                    prop_assert_eq!(
+                        &trace.render_jsonl(), &oracle_jsonl,
+                        "{:?} trace diverged at shards={} threads={}",
+                        kind, shards, threads
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_traces_conserve_every_request(seed in 0u64..1_000) {
+        // Event conservation per traced request: each sampled id tells a
+        // complete, consistent lifecycle story. Stride 1 traces every
+        // request, so this is the full engine ledger replayed from the
+        // event stream.
+        use pcnna_fleet::telemetry::NO_REQUEST;
+        use std::collections::HashMap;
+        let base = chaos_base(seed);
+        let cfg = ChaosConfig { seed, ..ChaosConfig::default() };
+        let tcfg = TraceConfig {
+            stride: 1,
+            max_per_class: u64::MAX,
+            ..TraceConfig::default()
+        };
+        for kind in ChaosKind::ALL {
+            let scenario = FleetScenario {
+                faults: chaos_timeline(kind, &base.instances, base.horizon_s, &cfg),
+                ..base.clone()
+            };
+            let (report, trace) = scenario.simulate_sharded_traced(4, 2, &tcfg).unwrap();
+            let mut per_id: HashMap<u64, Vec<TraceEventKind>> = HashMap::new();
+            for ev in &trace.events {
+                if ev.id != NO_REQUEST {
+                    per_id.entry(ev.id).or_default().push(ev.kind);
+                }
+            }
+            let (mut enqueued, mut completed, mut shed) = (0u64, 0u64, 0u64);
+            for (id, kinds) in &per_id {
+                let n = |k: TraceEventKind| kinds.iter().filter(|&&x| x == k).count() as u64;
+                prop_assert_eq!(n(TraceEventKind::Arrive), 1, "{}: one arrival", id);
+                prop_assert_eq!(kinds[0], TraceEventKind::Arrive, "{}: arrival first", id);
+                let enq = n(TraceEventKind::Enqueue);
+                let refused = n(TraceEventKind::Refuse);
+                prop_assert_eq!(enq + refused, 1, "{}: enqueue xor refuse", id);
+                if refused == 1 {
+                    prop_assert_eq!(kinds.len(), 2, "{}: refusal is terminal", id);
+                    continue;
+                }
+                // every dispatch ends in exactly one completion or one
+                // failover-abort (which requeues for a later dispatch)
+                prop_assert_eq!(
+                    n(TraceEventKind::Dispatch),
+                    n(TraceEventKind::Complete) + n(TraceEventKind::Failover),
+                    "{}: dispatches resolve", id
+                );
+                let done = n(TraceEventKind::Complete);
+                let dropped = n(TraceEventKind::Shed);
+                prop_assert!(done + dropped <= 1, "{id}: at most one terminal state");
+                enqueued += 1;
+                completed += done;
+                shed += dropped;
+            }
+            // aggregate ledger: the event stream reproduces the report
+            prop_assert_eq!(per_id.len() as u64, report.offered, "{:?}", kind);
+            prop_assert_eq!(enqueued, report.admitted, "{:?}", kind);
+            prop_assert_eq!(completed, report.completed, "{:?}", kind);
+            prop_assert_eq!(shed, report.resilience.shed, "{:?}", kind);
+            prop_assert_eq!(
+                enqueued - completed - shed,
+                report.resilience.unserved,
+                "{:?}: stranded = unserved", kind
+            );
+        }
+    }
+
+    #[test]
+    fn per_class_histograms_merge_to_the_fleet_summary(seed in 0u64..1_000) {
+        // Satellite of the telemetry layer: every class report now
+        // carries its full latency histogram, exact under merge — the
+        // bin-wise sum of the per-class histograms must reproduce the
+        // fleet-wide latency summary, and the sharded run's per-class
+        // histograms must equal the whole-run oracle's bin for bin.
+        let base = chaos_base(seed);
+        let cfg = ChaosConfig { seed, ..ChaosConfig::default() };
+        for kind in ChaosKind::ALL {
+            let scenario = FleetScenario {
+                faults: chaos_timeline(kind, &base.instances, base.horizon_s, &cfg),
+                ..base.clone()
+            };
+            let whole = scenario.simulate_sharded(1, 1).unwrap();
+            let parts = scenario.simulate_sharded(4, 2).unwrap();
+            let mut merged = LatencyHistogram::new();
+            for (c, class) in parts.per_class.iter().enumerate() {
+                prop_assert_eq!(
+                    &class.histogram, &whole.per_class[c].histogram,
+                    "{:?}: class {} histogram diverged under sharding", kind, c
+                );
+                prop_assert_eq!(class.histogram.count(), class.completed, "{:?}", kind);
+                prop_assert_eq!(
+                    &LatencySummary::from_histogram(&class.histogram), &class.latency,
+                    "{:?}: summary must be derived from the carried histogram", kind
+                );
+                merged.merge(&class.histogram);
+            }
+            prop_assert_eq!(merged.count(), whole.completed, "{:?}", kind);
+            prop_assert_eq!(
+                &LatencySummary::from_histogram(&merged), &whole.latency,
+                "{:?}: merge of the parts must equal the whole", kind
+            );
+        }
+    }
+}

@@ -5,19 +5,30 @@
 //!
 //! Flags: `--smoke` shrinks the fleet/horizon to CI size,
 //! `--scenario <name>` runs one named scenario (the CI matrix fans out
-//! one job per name), `--seed <n>` overrides the chaos seed, and
-//! `--shards <n>` sets the shard-worker count (default 4).
+//! one job per name), `--seed <n>` overrides the chaos seed,
+//! `--shards <n>` sets the shard-worker count (default 4),
+//! `--file <path>` runs a declarative scenario file instead of the
+//! named matrix, `--fuzz <n>` runs a seeded generative fuzz campaign
+//! of `n` scenarios against the full oracle suite (emitting
+//! `BENCH_fuzz.json`; violations are shrunk into `tests/regressions/`
+//! and fail the run), and `--emit-files <dir>` regenerates the
+//! canonical committed scenario files under `scenarios/`.
 //!
 //! Every report is produced by the **sharded engine** and asserted
 //! bit-identical against its `shards = 1` oracle (run twice) — the
 //! two-layer determinism contract CI relies on: same seed ⇒ same
-//! report, at any shard count. The emitted `BENCH_scenarios.json`
-//! deliberately carries **no wall-clock measurements**, so two runs of
-//! the same invocation — *at any `--shards` value* — produce
-//! byte-identical files (the acceptance check `diff`s them across
-//! shard counts).
+//! report, at any shard count. The emitted artifacts deliberately
+//! carry **no wall-clock measurements**, so two runs of the same
+//! invocation — *at any `--shards` value* — produce byte-identical
+//! files (the acceptance check `diff`s them across shard counts and
+//! re-runs). In smoke mode at the default seed, each matrix leg is
+//! additionally re-run from its committed `scenarios/<name>.json` file
+//! and the resulting record asserted byte-identical to the hard-coded
+//! generator's — the DSL-equivalence proof of ISSUE 8.
 
-use pcnna_bench::report::{assert_books, chaos_config, json_f, serving_classes, write_artifact};
+use pcnna_bench::report::{
+    assert_books, chaos_config, json_f, matrix_spec, serving_classes, write_artifact,
+};
 use pcnna_core::PcnnaConfig;
 use pcnna_fleet::prelude::*;
 use std::time::Instant;
@@ -27,6 +38,10 @@ struct Args {
     only: Option<ChaosKind>,
     seed: u64,
     shards: usize,
+    file: Option<String>,
+    fuzz: Option<u64>,
+    emit_files: Option<String>,
+    shrink_demo: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +50,10 @@ fn parse_args() -> Args {
         only: None,
         seed: 7,
         shards: 4,
+        file: None,
+        fuzz: None,
+        emit_files: None,
+        shrink_demo: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -69,10 +88,35 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--file" => {
+                args.file = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--file needs a path to a scenario JSON file");
+                    std::process::exit(2);
+                }));
+            }
+            "--fuzz" => {
+                args.fuzz = Some(it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--fuzz needs a scenario count ≥ 1");
+                    std::process::exit(2);
+                }));
+            }
+            "--emit-files" => {
+                args.emit_files = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--emit-files needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--shrink-demo" => {
+                args.shrink_demo = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--shrink-demo needs a directory");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!(
                     "unknown flag {other:?} (known: --smoke, --scenario <name>, \
-                     --seed <n>, --shards <n>)"
+                     --seed <n>, --shards <n>, --file <path>, --fuzz <n>, \
+                     --emit-files <dir>, --shrink-demo <dir>)"
                 );
                 std::process::exit(2);
             }
@@ -103,8 +147,299 @@ fn base_scenario(smoke: bool, seed: u64) -> FleetScenario {
     }
 }
 
+/// One deterministic JSON record of a chaos run (no wall-clock fields).
+fn record_for(name: &str, report: &FleetReport, baseline: &FleetReport) -> String {
+    let r = &report.resilience;
+    format!(
+        "{{\"name\":\"{}\",\"offered\":{},\"completed\":{},\"rejected\":{},\
+         \"slo_attainment\":{},\"baseline_slo\":{},\"p99_ms\":{},\
+         \"availability\":{},\"failed_over\":{},\"recalibrations\":{},\
+         \"hard_failures\":{},\"fault_events\":{},\"unserved\":{},\
+         \"energy_per_request_mj\":{},\"deterministic\":true}}",
+        name,
+        report.offered,
+        report.completed,
+        report.rejected,
+        json_f(report.slo_attainment),
+        json_f(baseline.slo_attainment),
+        json_f(1e3 * report.latency.p99_s),
+        json_f(r.availability),
+        r.failed_over,
+        r.recalibrations,
+        r.hard_failures,
+        r.fault_events,
+        r.unserved,
+        json_f(1e3 * report.energy_per_request_j),
+    )
+}
+
+/// Simulates at the requested shard count and asserts the shards=1
+/// oracle reproduces it bit-for-bit.
+fn run_checked(scenario: &FleetScenario, shards: usize, label: &str) -> FleetReport {
+    let report = scenario
+        .simulate_sharded(shards, shards)
+        .expect("scenario is valid");
+    let oracle = scenario.simulate_sharded(1, 1).expect("scenario is valid");
+    assert_eq!(
+        report, oracle,
+        "{label}: shards={shards} must reproduce the shards=1 oracle bit-for-bit"
+    );
+    report
+}
+
+/// The committed demo scenario the `fault_tolerance` example loads: the
+/// smoke fleet under a longer heat wave with a 5 ms re-lock window.
+fn demo_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "heat-wave-demo".to_owned(),
+        horizon_s: 0.25,
+        faults: FaultSpec::Chaos {
+            kind: ChaosKind::HeatWave,
+            recalibration_s: 5e-3,
+            seed: 7,
+        },
+        ..matrix_spec(ChaosKind::HeatWave, true, 7)
+    }
+}
+
+/// Regenerates the canonical committed scenario files.
+fn emit_files(dir: &str) {
+    std::fs::create_dir_all(dir).expect("create scenario dir");
+    for kind in ChaosKind::ALL {
+        let spec = matrix_spec(kind, true, 7);
+        let path = format!("{dir}/{}.json", kind.name());
+        std::fs::write(&path, spec.render()).expect("write scenario file");
+        println!("wrote {path}");
+    }
+    let demo = demo_spec();
+    let path = format!("{dir}/{}.json", demo.name);
+    std::fs::write(&path, demo.render()).expect("write scenario file");
+    println!("wrote {path}");
+}
+
+/// Runs one declarative scenario file: open loop against a fault-free
+/// baseline (plus the controlled run when the file closes the loop),
+/// with the same determinism asserts as the matrix.
+fn run_file(path: &str, shards: usize) {
+    let spec = ScenarioSpec::load(path).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let compiled = spec.compile().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let scenario = &compiled.scenario;
+    println!(
+        "scenario file {}: {} class(es), {} instance(s), {:.0} req/s mean for {} ms, \
+         {} fault event(s)",
+        spec.name,
+        scenario.classes.len(),
+        scenario.instances.len(),
+        scenario.arrival.mean_rate_rps(),
+        (1e3 * scenario.horizon_s) as u64,
+        scenario.faults.len(),
+    );
+    let baseline_scenario = FleetScenario {
+        faults: FaultTimeline::new(),
+        ..scenario.clone()
+    };
+    let baseline = run_checked(&baseline_scenario, shards, "baseline");
+    let report = run_checked(scenario, shards, &spec.name);
+    assert_books(&report, &spec.name);
+    let r = &report.resilience;
+    println!(
+        "  SLO {:.2}% (baseline {:.2}%)  p99 {:.3} ms  availability {:.2}%  \
+         {} failed over, {} recals, {} unserved",
+        100.0 * report.slo_attainment,
+        100.0 * baseline.slo_attainment,
+        1e3 * report.latency.p99_s,
+        100.0 * r.availability,
+        r.failed_over,
+        r.recalibrations,
+        r.unserved,
+    );
+    if let Some(control) = &compiled.control {
+        let mut policy = control.policy.build();
+        let controlled = scenario
+            .simulate_controlled(&control.config, policy.as_mut())
+            .expect("scenario is valid");
+        assert_books(&controlled.report, &format!("{} (controlled)", spec.name));
+        println!(
+            "  controlled ({}): SLO {:.2}%  {:.2} W mean  {} scale-ups, {} scale-downs, \
+             {} shed",
+            controlled.policy,
+            100.0 * controlled.report.slo_attainment,
+            controlled.power.mean_power_w,
+            controlled.scale_ups,
+            controlled.scale_downs,
+            controlled.report.resilience.shed,
+        );
+    }
+    let json = format!(
+        "{{\"bench\":\"scenarios\",\"mode\":\"file\",\"seed\":{},\"instances\":{},\
+         \"rate_rps\":{},\"horizon_s\":{},\"scenarios\":[{}]}}\n",
+        scenario.seed,
+        scenario.instances.len(),
+        json_f(scenario.arrival.mean_rate_rps()),
+        json_f(scenario.horizon_s),
+        record_for(&spec.name, &report, &baseline),
+    );
+    write_artifact("BENCH_scenarios.json", &json);
+}
+
+/// Runs a seeded generative fuzz campaign against the full oracle
+/// suite, shrinking any violation into `tests/regressions/` and
+/// emitting the deterministic `BENCH_fuzz.json` summary.
+fn run_fuzz(count: u64, seed: u64) {
+    let t0 = Instant::now();
+    let cfg = CampaignConfig {
+        count,
+        seed,
+        regressions_dir: Some("tests/regressions".into()),
+    };
+    let oracles = default_oracles();
+    println!(
+        "fuzz campaign: {count} scenario(s), seed {seed}, oracles [{}]",
+        oracles
+            .iter()
+            .map(|o| o.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let summary = run_campaign(&cfg, &oracles).expect("campaign I/O");
+    let mut records = Vec::with_capacity(summary.outcomes.len());
+    for o in &summary.outcomes {
+        if !o.violations.is_empty() {
+            eprintln!("VIOLATION in {}:", o.name);
+            for v in &o.violations {
+                eprintln!("  {v}");
+            }
+            if let Some(min) = &o.shrunk {
+                let events = match &min.faults {
+                    FaultSpec::Events(e) => e.len(),
+                    FaultSpec::Chaos { .. } => usize::MAX,
+                };
+                eprintln!(
+                    "  shrunk to {} fault event(s) → tests/regressions/{}.json",
+                    events, min.name
+                );
+            }
+        }
+        let violations = o
+            .violations
+            .iter()
+            .map(|v| format!("{{\"oracle\":\"{}\"}}", v.oracle))
+            .collect::<Vec<_>>()
+            .join(",");
+        records.push(format!(
+            "{{\"name\":\"{}\",\"fault_events\":{},\"offered\":{},\"completed\":{},\
+             \"shed\":{},\"unserved\":{},\"violations\":[{}]}}",
+            o.name, o.fault_events, o.offered, o.completed, o.shed, o.unserved, violations,
+        ));
+    }
+    let total_offered: u64 = summary.outcomes.iter().map(|o| o.offered).sum();
+    let total_completed: u64 = summary.outcomes.iter().map(|o| o.completed).sum();
+    let json = format!(
+        "{{\"bench\":\"fuzz\",\"seed\":{},\"count\":{},\"oracles\":[{}],\
+         \"violations\":{},\"offered\":{},\"completed\":{},\"scenarios\":[{}]}}\n",
+        summary.seed,
+        summary.count,
+        summary
+            .oracles
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(","),
+        summary.violations(),
+        total_offered,
+        total_completed,
+        records.join(",")
+    );
+    write_artifact("BENCH_fuzz.json", &json);
+    println!(
+        "{} scenario(s), {} request(s) offered, {} violation(s); campaign done in {:.2} s",
+        summary.count,
+        total_offered,
+        summary.violations(),
+        t0.elapsed().as_secs_f64()
+    );
+    if !summary.is_green() {
+        eprintln!("fuzz campaign found oracle violations — see tests/regressions/");
+        std::process::exit(1);
+    }
+}
+
+/// The shrinker walkthrough (and the regeneration path for the seed
+/// regression file): inject an intentionally breakable oracle — "the
+/// fleet never hard-fails" — find the first generated scenario that
+/// violates it, and minimize that scenario into `dir`.
+fn shrink_demo(dir: &str, seed: u64) {
+    struct NoHardFailures;
+    impl Oracle for NoHardFailures {
+        fn name(&self) -> &'static str {
+            "no-hard-failures"
+        }
+        fn check(&self, run: &RunArtifacts<'_>) -> Result<(), String> {
+            if run.sharded.resilience.hard_failures > 0 {
+                Err(format!(
+                    "{} hard failures",
+                    run.sharded.resilience.hard_failures
+                ))
+            } else {
+                Ok(())
+            }
+        }
+    }
+    let oracles: Vec<Box<dyn Oracle>> = vec![Box::new(NoHardFailures)];
+    let generator = ScenarioGen::new(seed);
+    let victim = (0..64)
+        .map(|i| generator.generate(i))
+        .find(|s| !run_and_check(s, &oracles).violations.is_empty())
+        .expect("the sample space contains hard failures");
+    println!(
+        "injected oracle \"no-hard-failures\" violated by {} ({} fault events)",
+        victim.name,
+        match victim.compile() {
+            Ok(c) => c.scenario.faults.len(),
+            Err(_) => 0,
+        }
+    );
+    let minimized = shrink(&victim, &oracles);
+    let events = match &minimized.faults {
+        FaultSpec::Events(e) => e.len(),
+        FaultSpec::Chaos { .. } => unreachable!("shrinker materializes chaos"),
+    };
+    std::fs::create_dir_all(dir).expect("create regression dir");
+    let path = format!("{dir}/{}.json", minimized.name);
+    std::fs::write(&path, minimized.render()).expect("write regression file");
+    println!(
+        "minimized to {} fault event(s), {} class(es), {} instance(s) → wrote {path}",
+        events,
+        minimized.classes.len(),
+        minimized.n_instances()
+    );
+    assert!(events <= 5, "shrinker left {events} events");
+}
+
 fn main() {
     let args = parse_args();
+    if let Some(dir) = &args.emit_files {
+        emit_files(dir);
+        return;
+    }
+    if let Some(dir) = &args.shrink_demo {
+        shrink_demo(dir, args.seed);
+        return;
+    }
+    if let Some(count) = args.fuzz {
+        run_fuzz(count, args.seed);
+        return;
+    }
+    if let Some(path) = &args.file {
+        run_file(path, args.shards);
+        return;
+    }
     let t0 = Instant::now();
     let base = base_scenario(args.smoke, args.seed);
     let chaos_cfg = chaos_config(args.smoke, args.seed);
@@ -124,23 +459,7 @@ fn main() {
         args.shards,
     );
 
-    // Every report comes from the sharded engine at the requested shard
-    // count and is asserted against its shards = 1 oracle — so the JSON
-    // below is byte-identical whatever --shards was.
-    let run = |scenario: &FleetScenario, label: &str| {
-        let report = scenario
-            .simulate_sharded(args.shards, args.shards)
-            .expect("scenario is valid");
-        let oracle = scenario.simulate_sharded(1, 1).expect("scenario is valid");
-        assert_eq!(
-            report, oracle,
-            "{label}: shards={} must reproduce the shards=1 oracle bit-for-bit",
-            args.shards
-        );
-        report
-    };
-
-    let baseline = run(&base, "baseline");
+    let baseline = run_checked(&base, args.shards, "baseline");
     println!(
         "baseline (no faults): SLO {:.2}%  p99 {:.3} ms  {:.3} mJ/req  availability 100.00%",
         100.0 * baseline.slo_attainment,
@@ -162,15 +481,19 @@ fn main() {
         "mJ/req"
     );
 
+    // The committed scenario files encode the smoke matrix at seed 7;
+    // under that invocation each leg is re-run from its file and must
+    // byte-match the hard-coded generator's record.
+    let check_files = args.smoke && args.seed == 7;
     let mut records = Vec::new();
     for kind in kinds {
         let scenario = FleetScenario {
             faults: chaos_timeline(kind, &base.instances, base.horizon_s, &chaos_cfg),
             ..base.clone()
         };
-        let report = run(&scenario, kind.name());
+        let report = run_checked(&scenario, args.shards, kind.name());
         // Cross-run determinism: a fresh simulation of the same seed
-        // (the oracle comparison already happened inside `run`).
+        // (the oracle comparison already happened inside `run_checked`).
         let again = scenario
             .simulate_sharded(args.shards, args.shards)
             .expect("scenario is valid");
@@ -195,27 +518,46 @@ fn main() {
             1e3 * report.energy_per_request_j,
         );
         assert_books(&report, kind.name());
-        records.push(format!(
-            "{{\"name\":\"{}\",\"offered\":{},\"completed\":{},\"rejected\":{},\
-             \"slo_attainment\":{},\"baseline_slo\":{},\"p99_ms\":{},\
-             \"availability\":{},\"failed_over\":{},\"recalibrations\":{},\
-             \"hard_failures\":{},\"fault_events\":{},\"unserved\":{},\
-             \"energy_per_request_mj\":{},\"deterministic\":true}}",
-            kind.name(),
-            report.offered,
-            report.completed,
-            report.rejected,
-            json_f(report.slo_attainment),
-            json_f(baseline.slo_attainment),
-            json_f(1e3 * report.latency.p99_s),
-            json_f(r.availability),
-            r.failed_over,
-            r.recalibrations,
-            r.hard_failures,
-            r.fault_events,
-            r.unserved,
-            json_f(1e3 * report.energy_per_request_j),
-        ));
+        let record = record_for(kind.name(), &report, &baseline);
+        if check_files {
+            let path = format!(
+                "{}/../../scenarios/{}.json",
+                env!("CARGO_MANIFEST_DIR"),
+                kind.name()
+            );
+            let spec = ScenarioSpec::load(&path).expect("committed scenario file");
+            assert_eq!(
+                spec,
+                matrix_spec(kind, true, 7),
+                "{}: committed file drifted from the canonical spec (regenerate \
+                 with --emit-files scenarios)",
+                kind.name()
+            );
+            let compiled = spec.compile().expect("committed scenario file compiles");
+            assert_eq!(
+                compiled.scenario,
+                scenario,
+                "{}: scenario file must compile to the hard-coded scenario",
+                kind.name()
+            );
+            let file_report = run_checked(
+                &compiled.scenario,
+                args.shards,
+                &format!("{} file", spec.name),
+            );
+            let file_record = record_for(&spec.name, &file_report, &baseline);
+            assert_eq!(
+                file_record,
+                record,
+                "{}: scenario-file record must byte-match the generator's",
+                kind.name()
+            );
+            println!(
+                "  {:<22} ↳ scenario file replays to a byte-identical record",
+                ""
+            );
+        }
+        records.push(record);
     }
     println!();
 

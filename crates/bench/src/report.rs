@@ -9,7 +9,10 @@
 //! ([`serving_classes`], [`chaos_config`]), and artifact writing
 //! ([`write_artifact`]).
 
-use pcnna_fleet::prelude::{ChaosConfig, FleetReport, NetworkClass};
+use pcnna_fleet::prelude::{
+    ArrivalProcess, ChaosConfig, ChaosKind, ClassSpec, FaultSpec, FleetReport, InstanceSpec,
+    NetworkClass, Policy, ScenarioSpec,
+};
 
 /// Formats a float for a deterministic JSON artifact: fixed six-digit
 /// precision keeps records compact, and `f64` formatting itself is
@@ -66,6 +69,56 @@ pub fn chaos_config(smoke: bool, seed: u64) -> ChaosConfig {
     }
 }
 
+/// [`serving_classes`] as scenario-file class specs — the DSL form of
+/// the same mix, used by the committed `scenarios/*.json` files.
+#[must_use]
+pub fn serving_class_specs() -> Vec<ClassSpec> {
+    vec![
+        ClassSpec {
+            network: "alexnet".to_owned(),
+            slo_s: 0.004,
+            weight: 1.0,
+        },
+        ClassSpec {
+            network: "lenet5".to_owned(),
+            slo_s: 0.001,
+            weight: 3.0,
+        },
+    ]
+}
+
+/// The scenario-file form of one chaos-matrix leg: compiles to exactly
+/// the `FleetScenario` the scenarios bin hard-codes for `(kind, smoke,
+/// seed)` — the equivalence the bin asserts in-run before anything
+/// depends on the DSL.
+#[must_use]
+pub fn matrix_spec(kind: ChaosKind, smoke: bool, seed: u64) -> ScenarioSpec {
+    let (fleet, rate_rps, horizon_s) = if smoke {
+        (4, 45_000.0, 0.05)
+    } else {
+        (6, 90_000.0, 0.5)
+    };
+    ScenarioSpec {
+        name: kind.name().to_owned(),
+        classes: serving_class_specs(),
+        arrival: ArrivalProcess::Poisson { rate_rps },
+        policy: Policy::NetworkAffinity,
+        instances: vec![InstanceSpec::defaults(fleet)],
+        max_batch: 32,
+        queue_capacity: 100_000,
+        resident_weights: true,
+        horizon_s,
+        seed,
+        limits: pcnna_photonics::degradation::DegradationLimits::default(),
+        faults: FaultSpec::Chaos {
+            kind,
+            recalibration_s: chaos_config(smoke, seed).recalibration_s,
+            seed,
+        },
+        control: None,
+    }
+}
+
 /// Writes a bench artifact, reporting success on stdout and failure on
 /// stderr without aborting the run — CI treats the artifact as
 /// best-effort and gates on the in-process asserts instead.
@@ -92,6 +145,19 @@ mod tests {
         assert_eq!(classes.len(), 2);
         assert_eq!(classes[0].name, "alexnet");
         assert_eq!(classes[1].name, "lenet5");
+    }
+
+    #[test]
+    fn matrix_specs_are_valid_and_mode_scaled() {
+        for kind in ChaosKind::ALL {
+            let smoke = matrix_spec(kind, true, 7);
+            assert!(smoke.validate().is_ok(), "{kind:?} smoke spec invalid");
+            assert_eq!(smoke.n_instances(), 4);
+            let full = matrix_spec(kind, false, 7);
+            assert!(full.validate().is_ok(), "{kind:?} full spec invalid");
+            assert_eq!(full.n_instances(), 6);
+            assert!(full.horizon_s > smoke.horizon_s);
+        }
     }
 
     #[test]

@@ -148,8 +148,11 @@ impl FleetScenario {
         if self.queue_capacity == 0 {
             return fail("queue_capacity must be at least 1 (0 rejects everything)".to_owned());
         }
-        if !(self.horizon_s > 0.0) {
-            return fail(format!("horizon must be positive, got {}", self.horizon_s));
+        if !(self.horizon_s > 0.0) || !self.horizon_s.is_finite() {
+            return fail(format!(
+                "horizon must be finite and positive, got {}",
+                self.horizon_s
+            ));
         }
         if let Err(reason) = self.arrival.validate() {
             return fail(reason);

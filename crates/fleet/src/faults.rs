@@ -69,6 +69,50 @@ pub struct FaultEvent {
     pub action: FaultAction,
 }
 
+impl FaultEvent {
+    /// Builds a validated event: time must be finite and non-negative,
+    /// and the action well-formed (positive finite recalibration
+    /// windows, valid health snapshots). The instance index is checked
+    /// against a fleet size by [`FaultTimeline::try_from_events`] /
+    /// [`FaultTimeline::validate`], which know the fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns a reason string for NaN/negative/infinite times or a
+    /// malformed action.
+    pub fn try_new(
+        at_s: f64,
+        instance: usize,
+        action: FaultAction,
+    ) -> core::result::Result<FaultEvent, String> {
+        if !at_s.is_finite() || at_s < 0.0 {
+            return Err(format!(
+                "fault event time must be finite and ≥ 0, got {at_s}"
+            ));
+        }
+        match action {
+            FaultAction::Degrade(h) => {
+                if let Err(err) = h.validate() {
+                    return Err(format!("fault event health invalid: {err}"));
+                }
+            }
+            FaultAction::Recalibrate { duration_s } => {
+                if !(duration_s > 0.0) || !duration_s.is_finite() {
+                    return Err(format!(
+                        "fault event recalibration window must be positive, got {duration_s}"
+                    ));
+                }
+            }
+            FaultAction::Fail => {}
+        }
+        Ok(FaultEvent {
+            at_s,
+            instance,
+            action,
+        })
+    }
+}
+
 /// A chronological fault schedule for a whole fleet.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultTimeline {
@@ -89,6 +133,25 @@ impl FaultTimeline {
     pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
         events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
         FaultTimeline { events }
+    }
+
+    /// Builds a validated timeline against a fleet of `n_instances`:
+    /// every event must pass [`FaultEvent::try_new`]'s checks and
+    /// target an in-range instance. This is the strict front door the
+    /// scenario DSL and the fuzzer use — malformed timelines are
+    /// rejected at build time instead of misbehaving deep inside the
+    /// event loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns a reason string naming the offending event.
+    pub fn try_from_events(
+        events: Vec<FaultEvent>,
+        n_instances: usize,
+    ) -> core::result::Result<FaultTimeline, String> {
+        let timeline = FaultTimeline::from_events(events);
+        timeline.validate(n_instances)?;
+        Ok(timeline)
     }
 
     /// The events in chronological order.
@@ -518,6 +581,73 @@ mod tests {
             }),
         }]);
         assert!(bad_health.validate(1).is_err());
+    }
+
+    #[test]
+    fn try_new_rejects_each_malformed_field() {
+        // every rejection path, one by one
+        assert!(FaultEvent::try_new(f64::NAN, 0, FaultAction::Fail).is_err());
+        assert!(FaultEvent::try_new(-0.001, 0, FaultAction::Fail).is_err());
+        assert!(FaultEvent::try_new(f64::INFINITY, 0, FaultAction::Fail).is_err());
+        assert!(FaultEvent::try_new(0.0, 0, FaultAction::Recalibrate { duration_s: 0.0 }).is_err());
+        assert!(FaultEvent::try_new(
+            0.0,
+            0,
+            FaultAction::Recalibrate {
+                duration_s: f64::NAN
+            }
+        )
+        .is_err());
+        assert!(FaultEvent::try_new(
+            0.0,
+            0,
+            FaultAction::Degrade(HealthState {
+                laser_power_factor: -0.5,
+                ..HealthState::nominal()
+            })
+        )
+        .is_err());
+        assert!(FaultEvent::try_new(
+            0.0,
+            0,
+            FaultAction::Degrade(HealthState {
+                ambient_delta_k: f64::NAN,
+                ..HealthState::nominal()
+            })
+        )
+        .is_err());
+        // and the happy path
+        let ok = FaultEvent::try_new(0.5, 3, FaultAction::Fail).unwrap();
+        assert_eq!(ok.at_s, 0.5);
+        assert_eq!(ok.instance, 3);
+    }
+
+    #[test]
+    fn try_from_events_checks_instance_range_and_sorts() {
+        let events = vec![
+            FaultEvent {
+                at_s: 0.2,
+                instance: 1,
+                action: FaultAction::Fail,
+            },
+            FaultEvent {
+                at_s: 0.1,
+                instance: 0,
+                action: FaultAction::Fail,
+            },
+        ];
+        let tl = FaultTimeline::try_from_events(events.clone(), 2).unwrap();
+        assert_eq!(tl.events()[0].at_s, 0.1, "events must come out sorted");
+        // out-of-range instance index
+        assert!(FaultTimeline::try_from_events(events.clone(), 1).is_err());
+        // malformed member event
+        let mut bad = events;
+        bad.push(FaultEvent {
+            at_s: f64::NAN,
+            instance: 0,
+            action: FaultAction::Fail,
+        });
+        assert!(FaultTimeline::try_from_events(bad, 2).is_err());
     }
 
     #[test]

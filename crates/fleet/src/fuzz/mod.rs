@@ -1,0 +1,207 @@
+//! Generative chaos fuzzing for the fleet engine.
+//!
+//! The module turns the four hard-coded chaos legs of the CI matrix
+//! into an unbounded, property-checked surface:
+//!
+//! * [`gen`] — a seeded scenario sampler: `(seed, index)` maps to a
+//!   valid [`ScenarioSpec`] deterministically, so a campaign is
+//!   reproducible byte-for-byte.
+//! * [`oracle`] — a pluggable suite of engine invariants (request
+//!   conservation, shard bit-identity, stride-1 trace replay, no
+//!   dispatch to down instances, controlled-run books, no-wedge
+//!   progress) checked against every run.
+//! * [`shrink()`] — a deterministic delta-debugging minimizer that turns
+//!   any violation into a small repro file for the regression corpus
+//!   under `tests/regressions/`.
+//!
+//! [`run_campaign`] ties them together: generate N scenarios, execute
+//! each under the sharded engine, check every oracle, shrink any
+//! violation, and summarize. The summary is wall-clock-free, so a
+//! fixed-seed campaign renders to byte-identical artifacts across
+//! re-runs — the determinism CI asserts.
+
+pub mod gen;
+pub mod oracle;
+pub mod shrink;
+
+pub use gen::ScenarioGen;
+pub use oracle::{default_oracles, run_and_check, CheckOutcome, Oracle, RunArtifacts, Violation};
+pub use shrink::shrink;
+
+use crate::scenario::ScenarioSpec;
+use crate::Result;
+
+/// Parameters of one fuzz campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// How many scenarios to generate and check.
+    pub count: u64,
+    /// Campaign seed (drives every generated scenario).
+    pub seed: u64,
+    /// Where to write minimized repros of violations (`None` = don't
+    /// write; the campaign summary still carries them).
+    pub regressions_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            count: 50,
+            seed: 7,
+            regressions_dir: None,
+        }
+    }
+}
+
+/// The outcome of one scenario within a campaign.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// Generated scenario name (`fuzz-<seed>-<index>`).
+    pub name: String,
+    /// Index within the campaign.
+    pub index: u64,
+    /// Fault events in the compiled timeline.
+    pub fault_events: usize,
+    /// Requests offered / completed / shed / unserved in the sharded run
+    /// (zeros when the run never produced a report).
+    pub offered: u64,
+    /// Completed requests.
+    pub completed: u64,
+    /// Requests shed by control.
+    pub shed: u64,
+    /// Admitted requests never served.
+    pub unserved: u64,
+    /// Oracle violations (empty = green).
+    pub violations: Vec<Violation>,
+    /// The minimized repro, when the scenario violated an oracle.
+    pub shrunk: Option<ScenarioSpec>,
+}
+
+/// A whole campaign's results.
+#[derive(Debug)]
+pub struct CampaignSummary {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Scenarios checked.
+    pub count: u64,
+    /// Names of the oracles that ran.
+    pub oracles: Vec<String>,
+    /// Per-scenario outcomes, in generation order.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+impl CampaignSummary {
+    /// Total violations across the campaign.
+    #[must_use]
+    pub fn violations(&self) -> usize {
+        self.outcomes.iter().map(|o| o.violations.len()).sum()
+    }
+
+    /// Whether every scenario passed every oracle.
+    #[must_use]
+    pub fn is_green(&self) -> bool {
+        self.violations() == 0
+    }
+}
+
+/// Runs a fuzz campaign: generate, execute, check, shrink.
+///
+/// Deterministic for a given [`CampaignConfig`] — scenario generation,
+/// engine runs, oracle checks, and shrinking all derive from the seed.
+/// Violations don't abort the campaign; they are shrunk, optionally
+/// written to `regressions_dir` as `<name>.json`, and reported in the
+/// summary.
+///
+/// # Errors
+///
+/// Returns [`crate::FleetError::InvalidScenario`] only for I/O failures
+/// while writing regression files; engine and oracle failures are data,
+/// not errors.
+pub fn run_campaign(cfg: &CampaignConfig, oracles: &[Box<dyn Oracle>]) -> Result<CampaignSummary> {
+    let generator = ScenarioGen::new(cfg.seed);
+    let mut outcomes = Vec::with_capacity(cfg.count as usize);
+    for index in 0..cfg.count {
+        let spec = generator.generate(index);
+        let fault_events = spec.compile().map(|c| c.scenario.faults.len()).unwrap_or(0);
+        let checked = run_and_check(&spec, oracles);
+        let (offered, completed, shed, unserved) = checked
+            .report
+            .as_ref()
+            .map(|r| {
+                (
+                    r.offered,
+                    r.completed,
+                    r.resilience.shed,
+                    r.resilience.unserved,
+                )
+            })
+            .unwrap_or_default();
+        let shrunk = if checked.violations.is_empty() {
+            None
+        } else {
+            let minimized = shrink(&spec, oracles);
+            if let Some(dir) = &cfg.regressions_dir {
+                std::fs::create_dir_all(dir).map_err(|e| crate::FleetError::InvalidScenario {
+                    reason: format!("cannot create {}: {e}", dir.display()),
+                })?;
+                let path = dir.join(format!("{}.json", minimized.name));
+                std::fs::write(&path, minimized.render()).map_err(|e| {
+                    crate::FleetError::InvalidScenario {
+                        reason: format!("cannot write {}: {e}", path.display()),
+                    }
+                })?;
+            }
+            Some(minimized)
+        };
+        outcomes.push(ScenarioOutcome {
+            name: spec.name.clone(),
+            index,
+            fault_events,
+            offered,
+            completed,
+            shed,
+            unserved,
+            violations: checked.violations,
+            shrunk,
+        });
+    }
+    Ok(CampaignSummary {
+        seed: cfg.seed,
+        count: cfg.count,
+        oracles: oracles.iter().map(|o| o.name().to_owned()).collect(),
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_is_green_and_deterministic() {
+        let cfg = CampaignConfig {
+            count: 6,
+            seed: 7,
+            regressions_dir: None,
+        };
+        let oracles = default_oracles();
+        let a = run_campaign(&cfg, &oracles).unwrap();
+        assert!(
+            a.is_green(),
+            "violations: {:?}",
+            a.outcomes
+                .iter()
+                .flat_map(|o| &o.violations)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(a.outcomes.len(), 6);
+        assert!(a.outcomes.iter().any(|o| o.offered > 0));
+        let b = run_campaign(&cfg, &oracles).unwrap();
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.offered, y.offered);
+            assert_eq!(x.completed, y.completed);
+            assert_eq!(x.fault_events, y.fault_events);
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! Property oracles over one scenario run.
+//!
+//! Each [`Oracle`] checks one invariant the serving engine promises,
+//! against the full [`RunArtifacts`] of a scenario execution: the
+//! shards=1 and shards=4 reports, a stride-1 request-lifecycle trace,
+//! and (when the scenario closes the loop) a controlled run. The suite
+//! is pluggable — tests inject intentionally-breakable oracles to
+//! exercise the shrinker — and [`run_and_check`] is the single entry
+//! the campaign, the shrinker, and the regression-replay test share.
+
+use crate::control::ControlledReport;
+use crate::engine::FleetScenario;
+use crate::faults::FaultAction;
+use crate::metrics::FleetReport;
+use crate::scenario::ScenarioSpec;
+use crate::telemetry::{
+    FleetTrace, TraceConfig, TraceEvent, TraceEventKind, NO_INSTANCE, NO_REQUEST,
+};
+use std::collections::HashMap;
+
+/// One oracle violation: which invariant broke and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// [`Oracle::name`] of the violated invariant (or `"compile"` /
+    /// `"engine"` for failures before any oracle ran).
+    pub oracle: String,
+    /// Human-readable description of the breakage.
+    pub detail: String,
+}
+
+impl core::fmt::Display for Violation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+/// Everything one scenario execution produced, lent to the oracles.
+#[derive(Debug)]
+pub struct RunArtifacts<'a> {
+    /// The scenario file under test.
+    pub spec: &'a ScenarioSpec,
+    /// Its compiled engine form.
+    pub scenario: &'a FleetScenario,
+    /// Report of the `shards = 1` run.
+    pub single: &'a FleetReport,
+    /// Report of the `shards = 4` traced run.
+    pub sharded: &'a FleetReport,
+    /// Stride-1 lifecycle trace of the sharded run (every request
+    /// sampled).
+    pub trace: &'a FleetTrace,
+    /// The controlled run, when the spec has a `control` section.
+    pub controlled: Option<&'a ControlledReport>,
+}
+
+/// One checkable engine invariant.
+pub trait Oracle {
+    /// Stable oracle name (lands in [`Violation::oracle`] and CI logs).
+    fn name(&self) -> &'static str;
+    /// Checks the invariant; `Err` carries the violation detail.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation description when the invariant does not
+    /// hold for this run.
+    fn check(&self, run: &RunArtifacts<'_>) -> core::result::Result<(), String>;
+}
+
+/// The outcome of running one spec through the engine and the oracles.
+#[derive(Debug)]
+pub struct CheckOutcome {
+    /// Violations found (empty = green).
+    pub violations: Vec<Violation>,
+    /// The sharded run's report, when the engine ran at all.
+    pub report: Option<FleetReport>,
+}
+
+/// The standard oracle suite every campaign and regression replay runs.
+#[must_use]
+pub fn default_oracles() -> Vec<Box<dyn Oracle>> {
+    vec![
+        Box::new(Conservation),
+        Box::new(ShardIdentity),
+        Box::new(TraceReplay),
+        Box::new(NoDispatchToDown),
+        Box::new(ControlledBooks),
+        Box::new(NoWedge),
+    ]
+}
+
+/// Compiles and executes `spec` (shards 1 and 4, stride-1 trace,
+/// controlled run if requested) and checks every oracle. Engine-level
+/// failures surface as `"compile"` / `"engine"` violations rather than
+/// aborting — to a fuzzer, a crash is just another finding.
+#[must_use]
+pub fn run_and_check(spec: &ScenarioSpec, oracles: &[Box<dyn Oracle>]) -> CheckOutcome {
+    let fail = |oracle: &str, detail: String| CheckOutcome {
+        violations: vec![Violation {
+            oracle: oracle.to_owned(),
+            detail,
+        }],
+        report: None,
+    };
+    let compiled = match spec.compile() {
+        Ok(c) => c,
+        Err(e) => return fail("compile", e.to_string()),
+    };
+    let scenario = &compiled.scenario;
+    let single = match scenario.simulate_sharded(1, 1) {
+        Ok(r) => r,
+        Err(e) => return fail("engine", format!("shards=1 run failed: {e}")),
+    };
+    let tcfg = TraceConfig {
+        stride: 1,
+        max_per_class: u64::MAX,
+        timeline_capacity: 8,
+    };
+    let (sharded, trace) = match scenario.simulate_sharded_traced(4, 4, &tcfg) {
+        Ok(r) => r,
+        Err(e) => return fail("engine", format!("shards=4 traced run failed: {e}")),
+    };
+    let controlled = match &compiled.control {
+        None => None,
+        Some(ctl) => {
+            let mut policy = ctl.policy.build();
+            match scenario.simulate_controlled(&ctl.config, policy.as_mut()) {
+                Ok(r) => Some(r),
+                Err(e) => return fail("engine", format!("controlled run failed: {e}")),
+            }
+        }
+    };
+    let run = RunArtifacts {
+        spec,
+        scenario,
+        single: &single,
+        sharded: &sharded,
+        trace: &trace,
+        controlled: controlled.as_ref(),
+    };
+    let mut violations = Vec::new();
+    for oracle in oracles {
+        if let Err(detail) = oracle.check(&run) {
+            violations.push(Violation {
+                oracle: oracle.name().to_owned(),
+                detail,
+            });
+        }
+    }
+    CheckOutcome {
+        violations,
+        report: Some(sharded),
+    }
+}
+
+fn books(report: &FleetReport, label: &str) -> core::result::Result<(), String> {
+    if report.offered != report.admitted + report.rejected {
+        return Err(format!(
+            "{label}: offered {} ≠ admitted {} + rejected {}",
+            report.offered, report.admitted, report.rejected
+        ));
+    }
+    let accounted = report.completed + report.resilience.shed + report.resilience.unserved;
+    if report.admitted != accounted {
+        return Err(format!(
+            "{label}: admitted {} ≠ completed {} + shed {} + unserved {}",
+            report.admitted, report.completed, report.resilience.shed, report.resilience.unserved
+        ));
+    }
+    Ok(())
+}
+
+/// Request conservation: `offered = admitted + rejected` and
+/// `admitted = completed + shed + unserved`, in aggregate and per class
+/// (per-class columns must also sum to the aggregates).
+pub struct Conservation;
+
+impl Oracle for Conservation {
+    fn name(&self) -> &'static str {
+        "conservation"
+    }
+
+    fn check(&self, run: &RunArtifacts<'_>) -> core::result::Result<(), String> {
+        books(run.sharded, "aggregate")?;
+        let mut sum_admitted = 0u64;
+        let mut sum_completed = 0u64;
+        let mut sum_shed = 0u64;
+        let mut sum_unserved = 0u64;
+        for c in &run.sharded.per_class {
+            if c.admitted != c.completed + c.shed + c.unserved {
+                return Err(format!(
+                    "class {}: admitted {} ≠ completed {} + shed {} + unserved {}",
+                    c.name, c.admitted, c.completed, c.shed, c.unserved
+                ));
+            }
+            sum_admitted += c.admitted;
+            sum_completed += c.completed;
+            sum_shed += c.shed;
+            sum_unserved += c.unserved;
+        }
+        let agg = run.sharded;
+        if sum_admitted != agg.admitted
+            || sum_completed != agg.completed
+            || sum_shed != agg.resilience.shed
+            || sum_unserved != agg.resilience.unserved
+        {
+            return Err(format!(
+                "per-class sums (admitted {sum_admitted}, completed {sum_completed}, \
+                 shed {sum_shed}, unserved {sum_unserved}) don't match the aggregate \
+                 (admitted {}, completed {}, shed {}, unserved {})",
+                agg.admitted, agg.completed, agg.resilience.shed, agg.resilience.unserved
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Shard bit-identity: the shards=1 and shards=4 runs of the same seed
+/// must produce equal reports, field for field.
+pub struct ShardIdentity;
+
+impl Oracle for ShardIdentity {
+    fn name(&self) -> &'static str {
+        "shard-identity"
+    }
+
+    fn check(&self, run: &RunArtifacts<'_>) -> core::result::Result<(), String> {
+        if run.single == run.sharded {
+            Ok(())
+        } else {
+            Err(format!(
+                "shards=1 and shards=4 reports diverge: \
+                 (offered {}, completed {}, energy {}) vs (offered {}, completed {}, energy {})",
+                run.single.offered,
+                run.single.completed,
+                run.single.energy_j,
+                run.sharded.offered,
+                run.sharded.completed,
+                run.sharded.energy_j
+            ))
+        }
+    }
+}
+
+#[derive(Default, Clone)]
+struct Lifecycle {
+    arrive: u32,
+    enqueue: u32,
+    refuse: u32,
+    dispatch: u32,
+    complete: u32,
+    failover: u32,
+    shed: u32,
+}
+
+/// Stride-1 trace replay: every request's lifecycle must be well-formed
+/// (one arrival; enqueued xor refused; dispatches = completes +
+/// failovers; at most one terminal event) and the trace's aggregate
+/// counts must equal the report's ledger.
+pub struct TraceReplay;
+
+impl Oracle for TraceReplay {
+    fn name(&self) -> &'static str {
+        "trace-replay"
+    }
+
+    fn check(&self, run: &RunArtifacts<'_>) -> core::result::Result<(), String> {
+        let mut requests: HashMap<u64, Lifecycle> = HashMap::new();
+        let n_classes = run.scenario.classes.len();
+        let mut class_counts = vec![Lifecycle::default(); n_classes];
+        for e in &run.trace.events {
+            if e.id == NO_REQUEST {
+                continue; // instance-level event
+            }
+            let life = requests.entry(e.id).or_default();
+            let class = (e.class != crate::telemetry::NO_CLASS)
+                .then_some(e.class as usize)
+                .filter(|&c| c < n_classes);
+            let mut bump = |f: fn(&mut Lifecycle) -> &mut u32| {
+                *f(life) += 1;
+                if let Some(c) = class {
+                    *f(&mut class_counts[c]) += 1;
+                }
+            };
+            match e.kind {
+                TraceEventKind::Arrive => bump(|l| &mut l.arrive),
+                TraceEventKind::Enqueue => bump(|l| &mut l.enqueue),
+                TraceEventKind::Refuse => bump(|l| &mut l.refuse),
+                TraceEventKind::Dispatch => bump(|l| &mut l.dispatch),
+                TraceEventKind::Complete => bump(|l| &mut l.complete),
+                TraceEventKind::Failover => bump(|l| &mut l.failover),
+                TraceEventKind::Shed => bump(|l| &mut l.shed),
+                _ => {}
+            }
+        }
+        for (id, l) in &requests {
+            if l.arrive != 1 {
+                return Err(format!("request {id}: {} arrivals", l.arrive));
+            }
+            if l.enqueue + l.refuse != 1 {
+                return Err(format!(
+                    "request {id}: enqueued {} times, refused {} times",
+                    l.enqueue, l.refuse
+                ));
+            }
+            if l.refuse == 1 && (l.dispatch + l.complete + l.shed) > 0 {
+                return Err(format!("request {id}: refused but later served"));
+            }
+            if l.complete > 1 {
+                return Err(format!("request {id}: completed {} times", l.complete));
+            }
+            if l.dispatch != l.complete + l.failover {
+                return Err(format!(
+                    "request {id}: {} dispatches ≠ {} completes + {} failovers",
+                    l.dispatch, l.complete, l.failover
+                ));
+            }
+            if l.complete + l.shed > 1 {
+                return Err(format!("request {id}: both completed and shed"));
+            }
+        }
+        // Aggregate ledger: stride 1 means the trace saw everything.
+        let total =
+            |f: fn(&Lifecycle) -> u32| -> u64 { requests.values().map(|l| u64::from(f(l))).sum() };
+        let report = run.sharded;
+        let pairs = [
+            ("arrive/offered", total(|l| l.arrive), report.offered),
+            ("enqueue/admitted", total(|l| l.enqueue), report.admitted),
+            ("refuse/rejected", total(|l| l.refuse), report.rejected),
+            (
+                "complete/completed",
+                total(|l| l.complete),
+                report.completed,
+            ),
+            ("shed/shed", total(|l| l.shed), report.resilience.shed),
+        ];
+        for (label, traced, reported) in pairs {
+            if traced != reported {
+                return Err(format!(
+                    "trace counts {traced} {label} events but the report says {reported}"
+                ));
+            }
+        }
+        for (c, counts) in class_counts.iter().enumerate() {
+            let r = &run.sharded.per_class[c];
+            let pairs = [
+                ("admitted", u64::from(counts.enqueue), r.admitted),
+                ("completed", u64::from(counts.complete), r.completed),
+                ("shed", u64::from(counts.shed), r.shed),
+            ];
+            for (label, traced, reported) in pairs {
+                if traced != reported {
+                    return Err(format!(
+                        "class {}: trace counts {traced} {label} but the report says {reported}",
+                        r.name
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// No dispatch to a down instance: replaying each instance's trace as a
+/// state machine (failed / recalibrating / parked until readmitted),
+/// no `dispatch` event may land while the instance is down.
+pub struct NoDispatchToDown;
+
+impl Oracle for NoDispatchToDown {
+    fn name(&self) -> &'static str {
+        "no-dispatch-to-down"
+    }
+
+    fn check(&self, run: &RunArtifacts<'_>) -> core::result::Result<(), String> {
+        let n = run.scenario.instances.len();
+        // Per-instance event streams in processing order. An instance
+        // lives in exactly one cell, so (cell, seq) orders its events.
+        let mut per_instance: Vec<Vec<&TraceEvent>> = vec![Vec::new(); n];
+        for e in &run.trace.events {
+            if e.instance != NO_INSTANCE && (e.instance as usize) < n {
+                per_instance[e.instance as usize].push(e);
+            }
+        }
+        for (i, events) in per_instance.iter_mut().enumerate() {
+            events.sort_by_key(|e| (e.cell, e.seq));
+            let mut down = false;
+            for e in events {
+                match e.kind {
+                    // instance-level failover / drain / park take the
+                    // instance out of service; readmit restores it
+                    TraceEventKind::Failover if e.id == NO_REQUEST => down = true,
+                    TraceEventKind::RecalDrain | TraceEventKind::Park => down = true,
+                    TraceEventKind::Readmit => down = false,
+                    TraceEventKind::Dispatch if down => {
+                        return Err(format!(
+                            "request {} dispatched to down instance {i} at t={}",
+                            e.id, e.t_s
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Controlled-run books: when the scenario closes the loop, the
+/// controlled report's ledger must balance too, and the loop must have
+/// actually observed windows.
+pub struct ControlledBooks;
+
+impl Oracle for ControlledBooks {
+    fn name(&self) -> &'static str {
+        "controlled-books"
+    }
+
+    fn check(&self, run: &RunArtifacts<'_>) -> core::result::Result<(), String> {
+        let Some(controlled) = run.controlled else {
+            return Ok(());
+        };
+        books(&controlled.report, "controlled")?;
+        if controlled.windows == 0 {
+            return Err("controlled run observed zero control windows".to_owned());
+        }
+        if controlled.report.offered != run.sharded.offered {
+            return Err(format!(
+                "controlled run offered {} requests, open-loop run {} — same \
+                 arrivals expected",
+                controlled.report.offered, run.sharded.offered
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// No-wedge progress: with no capacity-stranding fault in the timeline
+/// (a hard `Fail` or any `Degrade`), every admitted request must be
+/// served — `unserved > 0` is only legal when the timeline can strand
+/// capacity. Recalibration-only timelines always return instances to
+/// service, so they can never wedge the fleet.
+pub struct NoWedge;
+
+impl Oracle for NoWedge {
+    fn name(&self) -> &'static str {
+        "no-wedge"
+    }
+
+    fn check(&self, run: &RunArtifacts<'_>) -> core::result::Result<(), String> {
+        if run.sharded.resilience.unserved == 0 {
+            return Ok(());
+        }
+        let strand_capable = run
+            .scenario
+            .faults
+            .events()
+            .iter()
+            .any(|e| matches!(e.action, FaultAction::Fail | FaultAction::Degrade(_)));
+        if strand_capable {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} requests unserved although the fault timeline (only \
+                 recalibrations or nothing) cannot strand capacity",
+                run.sharded.resilience.unserved
+            ))
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Deterministic delta-debugging shrinker.
+//!
+//! Given a scenario that violates an oracle, [`shrink`] minimizes it
+//! while preserving the violation: chaos references are first
+//! materialized into explicit events, then the shrinker repeatedly
+//! tries (in a fixed order, so the result is deterministic) dropping
+//! fault-event chunks ddmin-style, collapsing classes, removing the
+//! control section, simplifying the arrival process to Poisson at the
+//! mean rate, halving the horizon, and removing untargeted instances —
+//! re-checking the oracles after every step and keeping a candidate
+//! only if it still fails. The fixpoint is the minimized repro the
+//! campaign writes to `tests/regressions/`.
+
+use super::oracle::{run_and_check, Oracle};
+use crate::scenario::{FaultSpec, InstanceSpec, ScenarioSpec};
+use crate::workload::ArrivalProcess;
+
+/// Smallest horizon the shrinker will try, seconds. Keeps candidates
+/// meaningful (a zero-length run fails no oracle and proves nothing).
+const MIN_HORIZON_S: f64 = 0.001;
+
+fn still_fails(spec: &ScenarioSpec, oracles: &[Box<dyn Oracle>]) -> bool {
+    spec.validate().is_ok() && !run_and_check(spec, oracles).violations.is_empty()
+}
+
+fn with_events(spec: &ScenarioSpec, events: Vec<crate::faults::FaultEvent>) -> ScenarioSpec {
+    ScenarioSpec {
+        faults: FaultSpec::Events(events),
+        ..spec.clone()
+    }
+}
+
+/// Replaces a chaos reference with the explicit events it expands to,
+/// so the event list becomes shrinkable. The expansion is exactly what
+/// [`ScenarioSpec::compile`] produces, so behaviour is unchanged.
+fn materialize(spec: &ScenarioSpec) -> ScenarioSpec {
+    match &spec.faults {
+        FaultSpec::Events(_) => spec.clone(),
+        FaultSpec::Chaos { .. } => match spec.compile() {
+            Ok(compiled) => with_events(spec, compiled.scenario.faults.events().to_vec()),
+            Err(_) => spec.clone(),
+        },
+    }
+}
+
+/// ddmin over the event list: drop progressively finer chunks while the
+/// violation persists. Returns the reduced spec when any event was
+/// dropped.
+fn shrink_events(spec: &ScenarioSpec, oracles: &[Box<dyn Oracle>]) -> Option<ScenarioSpec> {
+    let FaultSpec::Events(initial) = &spec.faults else {
+        return None;
+    };
+    if initial.is_empty() {
+        return None;
+    }
+    // fastest win first: no events at all
+    let empty = with_events(spec, Vec::new());
+    if still_fails(&empty, oracles) {
+        return Some(empty);
+    }
+    let mut events = initial.clone();
+    let mut granularity = 2usize;
+    let mut reduced = false;
+    while events.len() >= 2 {
+        let chunk = events.len().div_ceil(granularity);
+        let mut dropped = false;
+        let mut start = 0;
+        while start < events.len() {
+            let end = (start + chunk).min(events.len());
+            let mut candidate: Vec<_> = events[..start].to_vec();
+            candidate.extend_from_slice(&events[end..]);
+            if !candidate.is_empty() && still_fails(&with_events(spec, candidate.clone()), oracles)
+            {
+                events = candidate;
+                granularity = granularity.saturating_sub(1).max(2);
+                dropped = true;
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !dropped {
+            if granularity >= events.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(events.len());
+        }
+    }
+    reduced.then(|| with_events(spec, events))
+}
+
+fn shrink_classes(spec: &ScenarioSpec, oracles: &[Box<dyn Oracle>]) -> Option<ScenarioSpec> {
+    if spec.classes.len() <= 1 {
+        return None;
+    }
+    for drop_idx in (0..spec.classes.len()).rev() {
+        let mut candidate = spec.clone();
+        candidate.classes.remove(drop_idx);
+        if still_fails(&candidate, oracles) {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+fn shrink_control(spec: &ScenarioSpec, oracles: &[Box<dyn Oracle>]) -> Option<ScenarioSpec> {
+    spec.control.as_ref()?;
+    let candidate = ScenarioSpec {
+        control: None,
+        ..spec.clone()
+    };
+    still_fails(&candidate, oracles).then_some(candidate)
+}
+
+fn shrink_arrival(spec: &ScenarioSpec, oracles: &[Box<dyn Oracle>]) -> Option<ScenarioSpec> {
+    if matches!(spec.arrival, ArrivalProcess::Poisson { .. }) {
+        return None;
+    }
+    let candidate = ScenarioSpec {
+        arrival: ArrivalProcess::Poisson {
+            rate_rps: spec.arrival.mean_rate_rps(),
+        },
+        ..spec.clone()
+    };
+    still_fails(&candidate, oracles).then_some(candidate)
+}
+
+fn shrink_horizon(spec: &ScenarioSpec, oracles: &[Box<dyn Oracle>]) -> Option<ScenarioSpec> {
+    let halved = spec.horizon_s / 2.0;
+    if halved < MIN_HORIZON_S {
+        return None;
+    }
+    let mut candidate = ScenarioSpec {
+        horizon_s: halved,
+        ..spec.clone()
+    };
+    if let FaultSpec::Events(events) = &mut candidate.faults {
+        events.retain(|e| e.at_s <= halved);
+    }
+    still_fails(&candidate, oracles).then_some(candidate)
+}
+
+/// Removes instances no fault event targets (remapping indices), one at
+/// a time. Instance groups are expanded to singletons first so a
+/// removal never drags siblings along.
+fn shrink_instances(spec: &ScenarioSpec, oracles: &[Box<dyn Oracle>]) -> Option<ScenarioSpec> {
+    let n = spec.n_instances();
+    if n <= 1 {
+        return None;
+    }
+    let singletons: Vec<InstanceSpec> = spec
+        .instances
+        .iter()
+        .flat_map(|g| {
+            std::iter::repeat_n(
+                InstanceSpec {
+                    count: 1,
+                    ..g.clone()
+                },
+                g.count,
+            )
+        })
+        .collect();
+    let targeted: Vec<bool> = {
+        let mut t = vec![false; n];
+        if let FaultSpec::Events(events) = &spec.faults {
+            for e in events {
+                if e.instance < n {
+                    t[e.instance] = true;
+                }
+            }
+        }
+        t
+    };
+    for drop_idx in (0..n).rev() {
+        if targeted[drop_idx] {
+            continue;
+        }
+        let mut candidate = spec.clone();
+        candidate.instances = singletons
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != drop_idx)
+            .map(|(_, g)| g.clone())
+            .collect();
+        if let FaultSpec::Events(events) = &mut candidate.faults {
+            for e in events.iter_mut() {
+                if e.instance > drop_idx {
+                    e.instance -= 1;
+                }
+            }
+        }
+        if still_fails(&candidate, oracles) {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+/// Minimizes a violating scenario while preserving the violation.
+/// Deterministic: the same input and oracle suite always shrink to the
+/// same spec. If `spec` does not actually violate the oracles, it is
+/// returned unchanged.
+#[must_use]
+pub fn shrink(spec: &ScenarioSpec, oracles: &[Box<dyn Oracle>]) -> ScenarioSpec {
+    if !still_fails(spec, oracles) {
+        return spec.clone();
+    }
+    let mut current = {
+        let materialized = materialize(spec);
+        // materialization is behaviour-preserving, but re-check anyway:
+        // never hand back a spec that stopped failing
+        if still_fails(&materialized, oracles) {
+            materialized
+        } else {
+            spec.clone()
+        }
+    };
+    loop {
+        let mut progressed = false;
+        for step in [
+            shrink_events,
+            shrink_classes,
+            shrink_control,
+            shrink_arrival,
+            shrink_horizon,
+            shrink_instances,
+        ] {
+            while let Some(reduced) = step(&current, oracles) {
+                current = reduced;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzz::gen::ScenarioGen;
+    use crate::fuzz::oracle::{Oracle, RunArtifacts};
+    use crate::scenario::FaultSpec;
+
+    /// A deliberately breakable invariant: "the fleet never hard-fails".
+    /// Any scenario with a `Fail` in its timeline violates it, so the
+    /// shrinker should reduce such a scenario to essentially one event.
+    struct NoHardFailures;
+
+    impl Oracle for NoHardFailures {
+        fn name(&self) -> &'static str {
+            "no-hard-failures"
+        }
+
+        fn check(&self, run: &RunArtifacts<'_>) -> Result<(), String> {
+            if run.sharded.resilience.hard_failures > 0 {
+                Err(format!(
+                    "{} hard failures",
+                    run.sharded.resilience.hard_failures
+                ))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn injected_break_shrinks_to_a_tiny_stable_repro() {
+        let oracles: Vec<Box<dyn Oracle>> = vec![Box::new(NoHardFailures)];
+        let gen = ScenarioGen::new(7);
+        let victim = (0..64)
+            .map(|i| gen.generate(i))
+            .find(|s| !run_and_check(s, &oracles).violations.is_empty())
+            .expect("the sample space must contain a hard failure within 64 scenarios");
+        let minimized = shrink(&victim, &oracles);
+        // still violating, and tiny
+        assert!(!run_and_check(&minimized, &oracles).violations.is_empty());
+        let FaultSpec::Events(events) = &minimized.faults else {
+            panic!("shrinker must materialize chaos references");
+        };
+        assert!(
+            events.len() <= 5,
+            "minimized repro still has {} fault events",
+            events.len()
+        );
+        assert_eq!(minimized.classes.len(), 1);
+        assert_eq!(minimized.n_instances(), 1);
+        assert!(minimized.control.is_none());
+        // stable: shrinking a fixpoint is a no-op
+        let again = shrink(&minimized, &oracles);
+        assert_eq!(again, minimized);
+        // replayable: the violation survives a file round-trip
+        let replayed = ScenarioSpec::parse(&minimized.render()).unwrap();
+        assert_eq!(replayed, minimized);
+        assert!(!run_and_check(&replayed, &oracles).violations.is_empty());
+    }
+
+    #[test]
+    fn green_scenario_is_returned_unchanged() {
+        let oracles: Vec<Box<dyn Oracle>> = vec![Box::new(NoHardFailures)];
+        let gen = ScenarioGen::new(7);
+        let green = (0..64)
+            .map(|i| gen.generate(i))
+            .find(|s| run_and_check(s, &oracles).violations.is_empty())
+            .expect("some scenario must be green");
+        assert_eq!(shrink(&green, &oracles), green);
+    }
+}

@@ -91,8 +91,10 @@
 pub mod control;
 pub mod engine;
 pub mod faults;
+pub mod fuzz;
 pub mod metrics;
 pub mod par;
+pub mod scenario;
 pub mod scheduler;
 pub mod telemetry;
 pub mod workload;
@@ -100,7 +102,9 @@ pub mod workload;
 pub use control::{ControlConfig, ControlledReport, PowerMetrics};
 pub use engine::{FleetScenario, ShardPlan};
 pub use faults::{chaos_timeline, ChaosConfig, ChaosKind, FaultAction, FaultEvent, FaultTimeline};
+pub use fuzz::{CampaignConfig, CampaignSummary, Oracle, Violation};
 pub use metrics::{FleetReport, LatencySummary, ResilienceStats};
+pub use scenario::{CompiledScenario, ScenarioSpec};
 pub use scheduler::Policy;
 pub use telemetry::{FleetTrace, NullSink, TraceConfig, TraceSink, TracingSink};
 pub use workload::{ArrivalProcess, NetworkClass, Request, TrafficMix};
@@ -162,8 +166,15 @@ pub mod prelude {
     pub use crate::faults::{
         chaos_timeline, ChaosConfig, ChaosKind, FaultAction, FaultEvent, FaultTimeline,
     };
+    pub use crate::fuzz::{
+        default_oracles, run_and_check, run_campaign, shrink, CampaignConfig, CampaignSummary,
+        CheckOutcome, Oracle, RunArtifacts, ScenarioGen, Violation,
+    };
     pub use crate::metrics::{FleetReport, LatencyHistogram, LatencySummary, ResilienceStats};
     pub use crate::par;
+    pub use crate::scenario::{
+        ClassSpec, CompiledScenario, ControlSpec, FaultSpec, InstanceSpec, PolicySpec, ScenarioSpec,
+    };
     pub use crate::scheduler::Policy;
     pub use crate::telemetry::{
         ControlTelemetry, FleetTrace, HealthMix, NullSink, Profile, TimeSeries, TraceConfig,

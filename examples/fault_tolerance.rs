@@ -1,21 +1,24 @@
 //! Fault-tolerance walkthrough: a heat wave hits a serving fleet.
 //!
 //! The arc: derive the thermal drift budget from the real weight-bank
-//! physics, run a healthy 4-instance fleet as the baseline, then replay
-//! the same traffic through the `heat-wave` chaos scenario — ambient
+//! physics, load the committed `scenarios/heat-wave-demo.json` scenario
+//! file, run its fleet healthy as the baseline, then replay the same
+//! traffic through the file's `heat-wave` chaos timeline — ambient
 //! climbs past the budget, instances drain and recalibrate in staggered
 //! waves, load fails over to whoever is still locked, and the fleet
 //! recovers as the excursion passes — and read the resilience report.
 //!
 //! Run with `cargo run --release --example fault_tolerance`.
 
-use pcnna::core::PcnnaConfig;
 use pcnna::fleet::prelude::*;
 use pcnna::photonics::degradation::DegradationLimits;
 use pcnna::photonics::microring::RingParams;
 use pcnna::photonics::thermal::ThermalModel;
 use pcnna::photonics::wavelength::WdmGrid;
 use pcnna::photonics::weight_bank::MrrWeightBank;
+
+/// The committed scenario file this walkthrough replays.
+const SCENARIO_FILE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/heat-wave-demo.json");
 
 fn main() {
     // ---- 1. the physics: how much drift can a weight bank take? -----
@@ -44,36 +47,36 @@ fn main() {
     );
     println!();
 
-    // ---- 2. the fleet and its traffic ------------------------------
-    let base = FleetScenario {
-        classes: vec![
-            NetworkClass::alexnet(0.004, 1.0), // 4 ms SLO
-            NetworkClass::lenet5(0.001, 3.0),  // 1 ms SLO, 3× traffic
-        ],
-        arrival: ArrivalProcess::Poisson { rate_rps: 45_000.0 },
-        policy: Policy::NetworkAffinity,
-        instances: vec![PcnnaConfig::default(); 4],
-        max_batch: 32,
-        queue_capacity: 100_000,
-        horizon_s: 0.25,
-        seed: 7,
-        limits,
-        ..FleetScenario::default()
-    };
-    let healthy = base.simulate().unwrap();
-    println!("healthy fleet (no faults):");
+    // ---- 2. the fleet and its traffic, from the scenario file ------
+    // A mixed AlexNet/LeNet class mix at 45k req/s over 4 instances for
+    // 250 ms, faults declared as a `heat-wave` chaos reference with a
+    // 5 ms re-lock window — the same file `scenarios --file` replays
+    // and the fuzz/regression machinery round-trips.
+    let spec = ScenarioSpec::load(SCENARIO_FILE).unwrap();
+    let base = spec.compile().unwrap().scenario;
+    println!(
+        "scenario file {} ({}): {} classes, {} instances, {:.0} req/s for {:.0} ms",
+        spec.name,
+        SCENARIO_FILE,
+        base.classes.len(),
+        base.instances.len(),
+        base.arrival.mean_rate_rps(),
+        1e3 * base.horizon_s,
+    );
+    let healthy = FleetScenario {
+        faults: FaultTimeline::new(),
+        ..base.clone()
+    }
+    .simulate()
+    .unwrap();
+    println!("healthy fleet (faults stripped from the file's scenario):");
     println!("{}", healthy.render());
 
     // ---- 3. the heat wave ------------------------------------------
-    // Staggered ambient excursion to 2.5× the drift budget: every
-    // instance is forced past its lock range at least twice (once on
-    // the way up, once on the way down).
-    let chaos = ChaosConfig {
-        limits,
-        recalibration_s: 5e-3, // 5 ms to re-lock every ring
-        seed: 7,
-    };
-    let faults = chaos_timeline(ChaosKind::HeatWave, &base.instances, base.horizon_s, &chaos);
+    // The file's chaos reference compiled to a staggered ambient
+    // excursion at 2.5× the drift budget: every instance is forced past
+    // its lock range at least twice (once on the way up, once down).
+    let faults = &base.faults;
     println!(
         "heat wave timeline: {} events across {} instances; instance 0 sees:",
         faults.len(),
@@ -102,12 +105,7 @@ fn main() {
     println!();
 
     // ---- 4. the same traffic through the storm ---------------------
-    let stormy = FleetScenario {
-        faults,
-        ..base.clone()
-    }
-    .simulate()
-    .unwrap();
+    let stormy = base.simulate().unwrap();
     println!("the same fleet through the heat wave:");
     println!("{}", stormy.render());
 

@@ -1,0 +1,89 @@
+//! Regression-corpus replay: every minimized scenario under
+//! `tests/regressions/` must load, pass the full oracle suite, and
+//! byte-match its own canonical rendering.
+//!
+//! The corpus is grown by the fuzz campaign (`scenarios --fuzz`) and
+//! the shrink walkthrough (`scenarios --shrink-demo tests/regressions`):
+//! any oracle violation is delta-debugged into a tiny repro file here,
+//! and this test replays it forever. A file that fails an oracle again
+//! means the bug it once captured has come back.
+
+use pcnna::fleet::prelude::*;
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/regressions"))
+}
+
+#[test]
+fn every_regression_file_replays_green() {
+    let oracles = default_oracles();
+    let mut checked = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("tests/regressions exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("readable regression file");
+        let spec = ScenarioSpec::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // Canonical form: the committed bytes are exactly what the
+        // shrinker would write, so corpus diffs stay reviewable.
+        assert_eq!(
+            spec.render(),
+            text,
+            "{}: file is not in canonical rendered form",
+            path.display()
+        );
+        let outcome = run_and_check(&spec, &oracles);
+        assert!(
+            outcome.violations.is_empty(),
+            "{}: regression resurfaced: {:?}",
+            path.display(),
+            outcome.violations
+        );
+        assert!(
+            outcome.report.is_some(),
+            "{}: replay produced no report",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 1, "the corpus must hold at least the seed repro");
+}
+
+#[test]
+fn seed_repro_is_a_shrink_fixpoint() {
+    // The committed seed file came out of the shrink walkthrough
+    // (`scenarios --shrink-demo`), which minimizes against an injected
+    // "no hard failures" oracle. Re-shrinking it must be a no-op —
+    // the corpus holds fixpoints, not partially-reduced scenarios.
+    struct NoHardFailures;
+    impl Oracle for NoHardFailures {
+        fn name(&self) -> &'static str {
+            "no-hard-failures"
+        }
+        fn check(&self, run: &RunArtifacts<'_>) -> Result<(), String> {
+            if run.sharded.resilience.hard_failures > 0 {
+                Err(format!(
+                    "{} hard failures",
+                    run.sharded.resilience.hard_failures
+                ))
+            } else {
+                Ok(())
+            }
+        }
+    }
+    let path = corpus_dir().join("fuzz-0000000000000007-000.json");
+    let spec = ScenarioSpec::load(path.to_str().expect("utf-8 path")).expect("seed repro loads");
+    let oracles: Vec<Box<dyn Oracle>> = vec![Box::new(NoHardFailures)];
+    assert!(
+        !run_and_check(&spec, &oracles).violations.is_empty(),
+        "the seed repro must still trip the oracle it was minimized against"
+    );
+    assert_eq!(
+        shrink(&spec, &oracles),
+        spec,
+        "the seed repro must be a shrink fixpoint"
+    );
+}

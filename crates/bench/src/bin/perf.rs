@@ -61,7 +61,22 @@ struct Measurement {
     dse_evaluated: u64,
     conv_gflop_s: f64,
     telemetry: TelemetryMeasurement,
+    accuracy: AccuracyMeasurement,
     mega: MegaMeasurement,
+}
+
+/// Accuracy-aware dispatch overhead on the fleet workload: the same
+/// scenario with per-class top-1 floors and `accuracy_routing` on —
+/// the full quote → effective-bits → proxy top-1 path runs for every
+/// (class, instance) pair, and the dispatcher consults the
+/// serviceability ledger on every placement. Floors sit below the
+/// pristine quotes, so the workload served is identical and the ratio
+/// isolates the bookkeeping cost.
+struct AccuracyMeasurement {
+    plain_req_per_s: f64,
+    accuracy_req_per_s: f64,
+    /// `accuracy / plain`: ≥ 0.90 means the path adds < 10% overhead.
+    ratio: f64,
 }
 
 /// Enabled-vs-disabled telemetry overhead on the fleet workload (see
@@ -221,6 +236,36 @@ fn measure(quick: bool, mega_shards: usize, mega_threads: usize) -> Measurement 
         events_recorded,
     };
 
+    // --- accuracy-aware dispatch overhead --------------------------
+    // Same fleet workload with floors under every pristine quote
+    // (lenet5 ≥ 0.5, alexnet ≥ 0.85 against 0.885+ quoted) and routing
+    // on: nothing is refused, so plain and accuracy runs serve the same
+    // traffic and the ratio is pure accuracy-bookkeeping cost.
+    let accuracy_scenario = FleetScenario {
+        classes: vec![
+            NetworkClass::lenet5(0.005, 2.0).with_min_accuracy(0.5),
+            NetworkClass::alexnet(0.050, 1.0).with_min_accuracy(0.85),
+        ],
+        accuracy_routing: true,
+        ..fleet_scenario(if quick { 1.0 } else { 4.0 })
+    };
+    accuracy_scenario.simulate().expect("valid scenario"); // warm-up
+    let (accuracy_req_per_s, accuracy_completed) = best_rate(segments, || {
+        accuracy_scenario
+            .simulate()
+            .expect("valid scenario")
+            .completed
+    });
+    assert_eq!(
+        accuracy_completed, fleet_completed,
+        "floors below the pristine quotes must not change the traffic served"
+    );
+    let accuracy = AccuracyMeasurement {
+        plain_req_per_s: fleet_req_per_s,
+        accuracy_req_per_s,
+        ratio: accuracy_req_per_s / fleet_req_per_s.max(1e-9),
+    };
+
     // --- dse --------------------------------------------------------
     let space = DesignSpace::default();
     let ev = Evaluator::alexnet();
@@ -255,6 +300,7 @@ fn measure(quick: bool, mega_shards: usize, mega_threads: usize) -> Measurement 
         dse_evaluated,
         conv_gflop_s: conv_flop_s / 1e9,
         telemetry,
+        accuracy,
         mega: measure_mega(quick, mega_shards, mega_threads),
     }
 }
@@ -317,6 +363,10 @@ fn main() {
         m.telemetry.overhead,
         m.telemetry.events_recorded,
     );
+    println!(
+        "accuracy: plain {:.0} req/s, floors+routing {:.0} req/s (ratio {:.3})",
+        m.accuracy.plain_req_per_s, m.accuracy.accuracy_req_per_s, m.accuracy.ratio,
+    );
     let mega = &m.mega;
     println!(
         "mega_fleet: {} instances × {} classes, {} requests — \
@@ -344,6 +394,8 @@ fn main() {
          \"conv_gflop_s\":{:.3},\"peak_rss_bytes\":{},\
          \"telemetry\":{{\"disabled_req_per_s\":{:.0},\"traced_req_per_s\":{:.0},\
          \"overhead\":{:.3},\"events_recorded\":{}}},\
+         \"accuracy\":{{\"plain_req_per_s\":{:.0},\"accuracy_req_per_s\":{:.0},\
+         \"ratio\":{:.3}}},\
          \"mega_fleet\":{{\"instances\":{},\"classes\":{},\"completed\":{},\
          \"mono_req_per_s\":{:.0},\"sharded_req_per_s\":{:.0},\
          \"shards\":{},\"threads\":{},\"speedup\":{:.2},\
@@ -360,6 +412,9 @@ fn main() {
         m.telemetry.traced_req_per_s,
         m.telemetry.overhead,
         m.telemetry.events_recorded,
+        m.accuracy.plain_req_per_s,
+        m.accuracy.accuracy_req_per_s,
+        m.accuracy.ratio,
         mega.instances,
         mega.classes,
         mega.completed,
@@ -410,6 +465,20 @@ fn main() {
                  fleet baseline ({BASELINE_FLEET_REQ_PER_S:.0} req/s) — the \
                  disabled sink is no longer free",
                 m.telemetry.disabled_req_per_s
+            );
+            failed = true;
+        }
+        // The accuracy gate: floors + routing on a healthy fleet must
+        // cost < 10% of the plain dispatch rate. Quotes are memoized
+        // per (class, instance) health epoch, so the steady-state cost
+        // is one ledger lookup per placement — if the ratio drops, a
+        // quote stopped being cached or the dispatch scan grew.
+        if m.accuracy.ratio < 0.90 {
+            eprintln!(
+                "REGRESSION: accuracy-aware dispatch at {:.3}× of the plain \
+                 fleet rate (floor 0.90) — the accuracy path is no longer \
+                 amortized",
+                m.accuracy.ratio
             );
             failed = true;
         }

@@ -78,11 +78,13 @@ pub fn serving_class_specs() -> Vec<ClassSpec> {
             network: "alexnet".to_owned(),
             slo_s: 0.004,
             weight: 1.0,
+            min_accuracy: 0.0,
         },
         ClassSpec {
             network: "lenet5".to_owned(),
             slo_s: 0.001,
             weight: 3.0,
+            min_accuracy: 0.0,
         },
     ]
 }
@@ -107,6 +109,7 @@ pub fn matrix_spec(kind: ChaosKind, smoke: bool, seed: u64) -> ScenarioSpec {
         max_batch: 32,
         queue_capacity: 100_000,
         resident_weights: true,
+        accuracy_routing: false,
         horizon_s,
         seed,
         limits: pcnna_photonics::degradation::DegradationLimits::default(),

@@ -1,0 +1,14 @@
+//! Prints the proxy quantized-accuracy ladder — the measured top-1 of the
+//! trained proxy net at each effective datapath bit width. Used to
+//! calibrate the `min_accuracy` floors in the accuracy-serving bench
+//! scenarios.
+
+fn main() {
+    println!("pristine {:.4}", pcnna_cnn::train::pristine_top1());
+    for bits in 1..=pcnna_cnn::train::PROXY_MAX_BITS {
+        println!(
+            "{bits:2} bits  top1 {:.4}",
+            pcnna_cnn::train::quantized_top1(bits)
+        );
+    }
+}

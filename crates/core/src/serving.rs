@@ -18,6 +18,29 @@
 //! then streams every frame through. A quote is computed once per
 //! (network, config) pair and is `Copy`, so a scheduler hot loop prices a
 //! candidate batch with two multiply-adds and no allocation.
+//!
+//! ## One entry point, two axes
+//!
+//! [`service_quote`] is the single front door: a [`QuoteRequest`] carries
+//! the config, power assumptions, layers, a [`HealthState`], and the
+//! [`DegradationLimits`] it is judged against — the healthy case is just
+//! [`HealthState::nominal`], which is the request builder's default. The
+//! result prices **both** service axes:
+//!
+//! * **time/energy** — the affine batch-cost model above, re-derived on
+//!   the surviving-channel config and carrying the laser-compensation
+//!   energy of an aged diode;
+//! * **accuracy** — an [`AccuracyQuote`]: the health's SNR penalty
+//!   ([`health_snr_penalty_db`]) discounts the nominal converter ENOB to
+//!   an effective datapath bit width, and a trained proxy net measured at
+//!   that width ([`pcnna_cnn::train::quantized_top1`]) prices the top-1
+//!   accuracy the instance would actually serve. Quotes are memoized per
+//!   (network fingerprint, effective bits), so the hot path is a lock and
+//!   a map probe.
+//!
+//! The legacy [`quote`]/[`quote_degraded`] split remains as thin
+//! `#[deprecated]` shims over [`service_quote`]; both are pinned
+//! bit-identical to the unified path.
 
 use crate::config::PcnnaConfig;
 use crate::execution::ExecutionModel;
@@ -26,9 +49,32 @@ use crate::Result;
 use pcnna_cnn::geometry::ConvGeometry;
 use pcnna_electronics::time::SimTime;
 use pcnna_photonics::degradation::{DegradationLimits, HealthState};
+use pcnna_photonics::noise::health_snr_penalty_db;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, OnceLock};
 
-/// The affine time/energy cost of serving one network on one config.
+/// The quoted inference quality of one network on one instance's health:
+/// how many effective bits the analog datapath still resolves, and the
+/// measured top-1 accuracy at that resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyQuote {
+    /// Quoted electrical SNR of the analog readout, dB (nominal converter
+    /// SNR plus the health's penalty).
+    pub snr_db: f64,
+    /// Effective datapath resolution, bits: the SNR's ENOB, further
+    /// discounted by converter full-scale underutilization on an aged
+    /// laser, clamped to `[1, nominal]`.
+    pub effective_bits: u8,
+    /// Measured proxy top-1 accuracy at `effective_bits`.
+    pub top1_accuracy: f64,
+    /// The same measurement on nominal hardware — the quote's ceiling.
+    pub pristine_accuracy: f64,
+}
+
+/// The affine time/energy cost of serving one network on one config,
+/// plus the accuracy the analog datapath delivers while doing so.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServiceQuote {
     /// One-time cost per batch: reprogramming every layer's MRR bank
@@ -41,6 +87,8 @@ pub struct ServiceQuote {
     /// Marginal energy per frame, joules (converters, DRAM, photonics at
     /// the analytical execution time).
     pub per_frame_energy_j: f64,
+    /// The accuracy axis of the quote.
+    pub accuracy: AccuracyQuote,
 }
 
 impl ServiceQuote {
@@ -68,7 +116,154 @@ impl ServiceQuote {
     }
 }
 
-/// Computes the [`ServiceQuote`] for `layers` on `config`.
+/// Everything [`service_quote`] needs to price a network on an instance.
+/// Built with [`QuoteRequest::new`], which defaults to nominal health and
+/// the default serviceability envelope — the healthy quote is the request
+/// with no further configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct QuoteRequest<'a> {
+    /// Instance configuration (nominal channel counts and converters).
+    pub config: &'a PcnnaConfig,
+    /// Power assumptions the energy terms are priced under.
+    pub assumptions: &'a PowerAssumptions,
+    /// The network, as named conv layers.
+    pub layers: &'a [(&'a str, ConvGeometry)],
+    /// The instance's health snapshot.
+    pub health: HealthState,
+    /// Serviceability envelope the health is judged against.
+    pub limits: DegradationLimits,
+}
+
+impl<'a> QuoteRequest<'a> {
+    /// A request for nominal hardware under the default serviceability
+    /// envelope.
+    #[must_use]
+    pub fn new(
+        config: &'a PcnnaConfig,
+        assumptions: &'a PowerAssumptions,
+        layers: &'a [(&'a str, ConvGeometry)],
+    ) -> Self {
+        QuoteRequest {
+            config,
+            assumptions,
+            layers,
+            health: HealthState::nominal(),
+            limits: DegradationLimits::default(),
+        }
+    }
+
+    /// The same request under a different health snapshot.
+    #[must_use]
+    pub fn with_health(mut self, health: HealthState) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// The same request under a different serviceability envelope.
+    #[must_use]
+    pub fn with_limits(mut self, limits: DegradationLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+}
+
+/// A quote re-derived for the requested hardware state, with the
+/// derivation's provenance alongside (what capacity survived and what the
+/// laser compensation costs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradedQuote {
+    /// The re-derived affine cost model (already includes the laser
+    /// compensation energy) and the accuracy quote for the requested
+    /// health.
+    pub quote: ServiceQuote,
+    /// Input-DAC channels still alive.
+    pub effective_input_dacs: usize,
+    /// Output-ADC channels still alive.
+    pub effective_adcs: usize,
+    /// Extra per-frame energy spent holding optical power nominal on an
+    /// aged laser (zero at factor 1.0), joules.
+    pub laser_compensation_j_per_frame: f64,
+}
+
+/// Process-wide (network fingerprint, effective bits) → top-1 memo. The
+/// proxy measurement behind it is a pure function of its inputs, so the
+/// cache is bit-identical regardless of how many threads race to fill it:
+/// every writer computes the same value.
+fn memoized_top1(fingerprint: u64, bits: u8) -> f64 {
+    static CACHE: OnceLock<Mutex<HashMap<(u64, u8), f64>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(&top1) = cache
+        .lock()
+        .expect("accuracy memo lock")
+        .get(&(fingerprint, bits))
+    {
+        return top1;
+    }
+    // Measure outside the lock: the first call trains the proxy ladder.
+    let top1 = pcnna_cnn::train::quantized_top1(bits);
+    cache
+        .lock()
+        .expect("accuracy memo lock")
+        .insert((fingerprint, bits), top1);
+    top1
+}
+
+/// A process-local fingerprint of a layer stack (names + geometry), the
+/// memo key for accuracy quotes — the analogue of the fleet's first-seen
+/// quote dedupe.
+fn network_fingerprint(layers: &[(&str, ConvGeometry)]) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    for (name, g) in layers {
+        name.hash(&mut hasher);
+        format!("{g:?}").hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+/// Prices the accuracy axis for `layers` on `config` under `health`.
+///
+/// The chain is SNR → effective bits → measured top-1:
+///
+/// 1. Nominal hardware anchors at the ADC's effective resolution
+///    ([`AdcModel::effective_bits`], ~8 ENOB for the paper's 10-bit
+///    converter), i.e. `6.02·ENOB + 1.76` dB of electrical SNR.
+/// 2. [`health_snr_penalty_db`] discounts that for thermal detuning,
+///    laser aging, and dead-channel crosstalk.
+/// 3. An aged laser additionally *underutilizes* the converters' fixed
+///    full scale: the attenuated analog signal spans only `factor`× the
+///    ADC range, wasting `log2(1/factor)` codes on headroom that carries
+///    no signal — a resolution loss on top of the SNR loss.
+/// 4. The effective width (floored, clamped to `[1, nominal]`) indexes
+///    the measured proxy ladder in [`pcnna_cnn::train::quantized_top1`].
+///
+/// Monotone non-increasing under any worsening of `health`, and exactly
+/// the pristine quote at [`HealthState::nominal`].
+///
+/// [`AdcModel::effective_bits`]: pcnna_electronics::adc::AdcModel::effective_bits
+fn accuracy_quote(
+    config: &PcnnaConfig,
+    layers: &[(&str, ConvGeometry)],
+    health: &HealthState,
+) -> AccuracyQuote {
+    let nominal_bits = config.adc.effective_bits();
+    let nominal_snr_db = 6.02 * f64::from(nominal_bits) + 1.76;
+    let penalty_db = health_snr_penalty_db(health);
+    let snr_db = nominal_snr_db + penalty_db;
+    let range_bits = health.laser_power_factor.max(1e-9).log2().min(0.0);
+    let enob = f64::from(nominal_bits) + penalty_db / 6.02 + range_bits;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let effective_bits = enob.floor().clamp(1.0, f64::from(nominal_bits)) as u8;
+    let fingerprint = network_fingerprint(layers);
+    AccuracyQuote {
+        snr_db,
+        effective_bits,
+        top1_accuracy: memoized_top1(fingerprint, effective_bits),
+        pristine_accuracy: memoized_top1(fingerprint, nominal_bits),
+    }
+}
+
+/// The time/energy terms for `layers` on `config`, with the accuracy
+/// field priced at nominal health for this config.
 ///
 /// The time terms are extracted from the batched execution model by
 /// evaluating it at batch sizes 1 and 2 (the model is affine in the batch,
@@ -76,11 +271,7 @@ impl ServiceQuote {
 /// underlying model gains terms later). Energy combines the per-layer
 /// [`PowerModel`] ledgers with the weight-DAC energy of the reprogramming
 /// phase.
-///
-/// # Errors
-///
-/// Propagates configuration and per-layer resource failures.
-pub fn quote(
+fn raw_quote(
     config: &PcnnaConfig,
     assumptions: &PowerAssumptions,
     layers: &[(&str, ConvGeometry)],
@@ -116,28 +307,13 @@ pub fn quote(
         per_frame,
         weight_load_energy_j,
         per_frame_energy_j,
+        accuracy: accuracy_quote(config, layers, &HealthState::nominal()),
     })
 }
 
-/// A quote re-derived for degraded hardware, with the derivation's
-/// provenance alongside (what capacity survived and what the laser
-/// compensation costs).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct DegradedQuote {
-    /// The re-derived affine cost model (already includes the laser
-    /// compensation energy).
-    pub quote: ServiceQuote,
-    /// Input-DAC channels still alive.
-    pub effective_input_dacs: usize,
-    /// Output-ADC channels still alive.
-    pub effective_adcs: usize,
-    /// Extra per-frame energy spent holding optical power nominal on an
-    /// aged laser (zero at factor 1.0), joules.
-    pub laser_compensation_j_per_frame: f64,
-}
-
-/// Re-derives the [`ServiceQuote`] for `layers` on `config` under a
-/// degraded [`HealthState`].
+/// The unified quote entry point: prices `request.layers` on
+/// `request.config` under `request.health`, on both the time/energy and
+/// accuracy axes.
 ///
 /// The degradation maps onto the quote as:
 ///
@@ -149,64 +325,70 @@ pub struct DegradedQuote {
 /// * **Laser aging** costs energy, not time: the bias current is
 ///   raised to hold optical power (and thus SNR) at nominal, so each
 ///   frame carries an extra `(1/factor − 1) ×` the layer's laser
-///   energy.
+///   energy. What compensation cannot restore — converter full-scale
+///   utilization — shows up on the accuracy axis instead.
+/// * **Every health axis** discounts the [`AccuracyQuote`]: SNR → fewer
+///   effective bits → lower measured top-1.
 /// * **Thermal drift** beyond `limits` (or a laser below its floor)
 ///   means the programmed weights — or the SNR — are wrong: no quote
 ///   exists and the device must recalibrate. That, and losing the last
 ///   converter channel, returns `Ok(None)` (infeasible), which a fleet
 ///   treats as "this instance cannot serve until repaired".
 ///
-/// With a nominal health snapshot the result is bit-identical to
-/// [`quote`].
+/// With a nominal health snapshot the result is bit-identical to the
+/// legacy [`quote`] (and the degraded path to [`quote_degraded`]) — the
+/// pinned contract that keeps the fleet oracle and control-policy
+/// regression artifacts byte-stable.
 ///
 /// # Errors
 ///
 /// Propagates configuration and per-layer resource failures from the
-/// core models (same failure surface as [`quote`]).
-pub fn quote_degraded(
-    config: &PcnnaConfig,
-    assumptions: &PowerAssumptions,
-    layers: &[(&str, ConvGeometry)],
-    health: &HealthState,
-    limits: &DegradationLimits,
-) -> Result<Option<DegradedQuote>> {
-    if !health.serviceable(limits) {
+/// core models.
+pub fn service_quote(request: &QuoteRequest) -> Result<Option<DegradedQuote>> {
+    if !request.health.serviceable(&request.limits) {
         return Ok(None);
     }
-    let effective_input_dacs = config
+    let effective_input_dacs = request
+        .config
         .n_input_dacs
-        .saturating_sub(health.dead_input_channels);
-    let effective_adcs = config.n_adcs.saturating_sub(health.dead_output_channels);
+        .saturating_sub(request.health.dead_input_channels);
+    let effective_adcs = request
+        .config
+        .n_adcs
+        .saturating_sub(request.health.dead_output_channels);
     if effective_input_dacs == 0 || effective_adcs == 0 {
         return Ok(None);
     }
-    let degraded = config
+    let degraded = request
+        .config
         .with_input_dacs(effective_input_dacs)
         .with_adcs(effective_adcs);
-    let mut q = quote(&degraded, assumptions, layers)?;
+    let mut q = raw_quote(&degraded, request.assumptions, request.layers)?;
 
     // Laser compensation: holding the emitted power at nominal on a
     // diode whose wall-plug efficiency has slid to `factor` multiplies
     // the lasers' electrical draw by 1/factor. Only the laser share of
     // the per-frame energy scales — converters and DRAM don't care.
     let mut laser_compensation_j_per_frame = 0.0;
-    if health.laser_power_factor < 1.0 {
+    if request.health.laser_power_factor < 1.0 {
         let power = PowerModel::new(
             PcnnaConfig {
                 include_weight_load: false,
                 ..degraded
             },
-            *assumptions,
+            *request.assumptions,
         )?;
         let laser_j_per_frame: f64 = power
-            .network_power(layers)?
+            .network_power(request.layers)?
             .iter()
             .map(|lp| lp.photonic.lasers_w * lp.exec_seconds)
             .sum();
         laser_compensation_j_per_frame =
-            laser_j_per_frame * (1.0 / health.laser_power_factor - 1.0);
+            laser_j_per_frame * (1.0 / request.health.laser_power_factor - 1.0);
         q.per_frame_energy_j += laser_compensation_j_per_frame;
     }
+
+    q.accuracy = accuracy_quote(request.config, request.layers, &request.health);
 
     Ok(Some(DegradedQuote {
         quote: q,
@@ -216,16 +398,73 @@ pub fn quote_degraded(
     }))
 }
 
+/// Computes the [`ServiceQuote`] for `layers` on nominal hardware.
+///
+/// # Errors
+///
+/// Propagates configuration and per-layer resource failures.
+#[deprecated(
+    note = "use service_quote(&QuoteRequest::new(config, assumptions, layers)) — the unified entry point"
+)]
+pub fn quote(
+    config: &PcnnaConfig,
+    assumptions: &PowerAssumptions,
+    layers: &[(&str, ConvGeometry)],
+) -> Result<ServiceQuote> {
+    config.validate()?;
+    Ok(
+        service_quote(&QuoteRequest::new(config, assumptions, layers))?
+            .expect("nominal hardware on a valid config is always serviceable")
+            .quote,
+    )
+}
+
+/// Re-derives the [`ServiceQuote`] for `layers` on `config` under a
+/// degraded [`HealthState`].
+///
+/// # Errors
+///
+/// Propagates configuration and per-layer resource failures from the
+/// core models (same failure surface as [`service_quote`]).
+#[deprecated(
+    note = "use service_quote(&QuoteRequest::new(..).with_health(..).with_limits(..)) — the unified entry point"
+)]
+pub fn quote_degraded(
+    config: &PcnnaConfig,
+    assumptions: &PowerAssumptions,
+    layers: &[(&str, ConvGeometry)],
+    health: &HealthState,
+    limits: &DegradationLimits,
+) -> Result<Option<DegradedQuote>> {
+    service_quote(
+        &QuoteRequest::new(config, assumptions, layers)
+            .with_health(*health)
+            .with_limits(*limits),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use pcnna_cnn::zoo;
 
+    fn nominal(layers: &[(&str, ConvGeometry)]) -> ServiceQuote {
+        let cfg = PcnnaConfig::default();
+        service_quote(&QuoteRequest::new(
+            &cfg,
+            &PowerAssumptions::default(),
+            layers,
+        ))
+        .unwrap()
+        .expect("nominal hardware is serviceable")
+        .quote
+    }
+
     #[test]
     fn quote_matches_batched_execution_exactly() {
         let cfg = PcnnaConfig::default();
         let layers = zoo::alexnet_conv_layers();
-        let q = quote(&cfg, &PowerAssumptions::default(), &layers).unwrap();
+        let q = nominal(&layers);
         let exec = ExecutionModel::new(cfg).unwrap();
         for batch in [1u64, 2, 7, 64, 1024] {
             let direct = exec.run_batched(&layers, batch).unwrap();
@@ -235,26 +474,18 @@ mod tests {
 
     #[test]
     fn quote_terms_are_positive_for_alexnet() {
-        let q = quote(
-            &PcnnaConfig::default(),
-            &PowerAssumptions::default(),
-            &zoo::alexnet_conv_layers(),
-        )
-        .unwrap();
+        let q = nominal(&zoo::alexnet_conv_layers());
         assert!(q.weight_load > SimTime::ZERO);
         assert!(q.per_frame > SimTime::ZERO);
         assert!(q.weight_load_energy_j > 0.0);
         assert!(q.per_frame_energy_j > 0.0);
+        assert!(q.accuracy.top1_accuracy > 0.0);
+        assert!(q.accuracy.effective_bits >= 1);
     }
 
     #[test]
     fn batching_amortizes_weight_load_in_quote() {
-        let q = quote(
-            &PcnnaConfig::default(),
-            &PowerAssumptions::default(),
-            &zoo::alexnet_conv_layers(),
-        )
-        .unwrap();
+        let q = nominal(&zoo::alexnet_conv_layers());
         assert!(q.throughput_fps(64) > q.throughput_fps(1));
         assert!(q.throughput_fps(1024) > q.throughput_fps(64));
         // energy per frame also amortizes
@@ -269,36 +500,75 @@ mod tests {
         // window in; the quote must still bill that window once per batch,
         // not once per frame.
         let layers = zoo::alexnet_conv_layers();
-        let without = quote(
-            &PcnnaConfig::default(),
+        let without = nominal(&layers);
+        let cfg = PcnnaConfig {
+            include_weight_load: true,
+            ..PcnnaConfig::default()
+        };
+        let with = service_quote(&QuoteRequest::new(
+            &cfg,
             &PowerAssumptions::default(),
             &layers,
-        )
-        .unwrap();
-        let with = quote(
-            &PcnnaConfig {
-                include_weight_load: true,
-                ..PcnnaConfig::default()
-            },
-            &PowerAssumptions::default(),
-            &layers,
-        )
-        .unwrap();
+        ))
+        .unwrap()
+        .unwrap()
+        .quote;
         assert_eq!(with.per_frame_energy_j, without.per_frame_energy_j);
         assert_eq!(with.weight_load_energy_j, without.weight_load_energy_j);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_are_bit_identical_to_the_unified_path() {
+        // The pinned API-redesign contract: the legacy entry points and
+        // the unified QuoteRequest path produce byte-identical quotes, so
+        // the fleet oracle and Hold-policy regression artifacts cannot
+        // move.
+        let cfg = PcnnaConfig::default();
+        let layers = zoo::alexnet_conv_layers();
+        let assumptions = PowerAssumptions::default();
+        let unified = service_quote(&QuoteRequest::new(&cfg, &assumptions, &layers))
+            .unwrap()
+            .unwrap();
+        let legacy_plain = quote(&cfg, &assumptions, &layers).unwrap();
+        assert_eq!(unified.quote, legacy_plain);
+
+        for health in [
+            HealthState::nominal(),
+            HealthState {
+                ambient_delta_k: 0.15,
+                laser_power_factor: 0.8,
+                dead_input_channels: 2,
+                dead_output_channels: 1,
+            },
+            HealthState {
+                ambient_delta_k: 9.0, // unserviceable
+                ..HealthState::nominal()
+            },
+        ] {
+            let legacy = quote_degraded(
+                &cfg,
+                &assumptions,
+                &layers,
+                &health,
+                &DegradationLimits::default(),
+            )
+            .unwrap();
+            let via_request =
+                service_quote(&QuoteRequest::new(&cfg, &assumptions, &layers).with_health(health))
+                    .unwrap();
+            assert_eq!(legacy, via_request);
+        }
     }
 
     #[test]
     fn nominal_health_quotes_bit_identically() {
         let cfg = PcnnaConfig::default();
         let layers = zoo::alexnet_conv_layers();
-        let plain = quote(&cfg, &PowerAssumptions::default(), &layers).unwrap();
-        let degraded = quote_degraded(
-            &cfg,
-            &PowerAssumptions::default(),
-            &layers,
-            &HealthState::nominal(),
-            &DegradationLimits::default(),
+        let plain = nominal(&layers);
+        let degraded = service_quote(
+            &QuoteRequest::new(&cfg, &PowerAssumptions::default(), &layers)
+                .with_health(HealthState::nominal()),
         )
         .unwrap()
         .expect("nominal hardware is serviceable");
@@ -312,17 +582,14 @@ mod tests {
     fn dead_channels_slow_the_quote_down() {
         let cfg = PcnnaConfig::default();
         let layers = zoo::alexnet_conv_layers();
-        let limits = DegradationLimits::default();
-        let healthy = quote(&cfg, &PowerAssumptions::default(), &layers).unwrap();
-        let half = quote_degraded(
-            &cfg,
-            &PowerAssumptions::default(),
-            &layers,
-            &HealthState {
-                dead_input_channels: 5,
-                ..HealthState::nominal()
-            },
-            &limits,
+        let healthy = nominal(&layers);
+        let half = service_quote(
+            &QuoteRequest::new(&cfg, &PowerAssumptions::default(), &layers).with_health(
+                HealthState {
+                    dead_input_channels: 5,
+                    ..HealthState::nominal()
+                },
+            ),
         )
         .unwrap()
         .unwrap();
@@ -331,31 +598,39 @@ mod tests {
             half.quote.per_frame > healthy.per_frame,
             "losing half the input DACs must lengthen the frame time"
         );
-        // matches an explicit re-quote of the surviving-channel config
-        let explicit = quote(
+        // matches an explicit re-quote of the surviving-channel config —
+        // on the time/energy axes; the accuracy axis sees the dead
+        // channels' crosstalk, which a clean 5-DAC config doesn't have
+        let explicit = service_quote(&QuoteRequest::new(
             &cfg.with_input_dacs(5),
             &PowerAssumptions::default(),
             &layers,
-        )
-        .unwrap();
-        assert_eq!(half.quote, explicit);
+        ))
+        .unwrap()
+        .unwrap()
+        .quote;
+        assert_eq!(half.quote.weight_load, explicit.weight_load);
+        assert_eq!(half.quote.per_frame, explicit.per_frame);
+        assert_eq!(
+            half.quote.weight_load_energy_j,
+            explicit.weight_load_energy_j
+        );
+        assert_eq!(half.quote.per_frame_energy_j, explicit.per_frame_energy_j);
+        assert!(half.quote.accuracy.snr_db < explicit.accuracy.snr_db);
     }
 
     #[test]
     fn laser_aging_costs_energy_not_time() {
         let cfg = PcnnaConfig::default();
         let layers = zoo::alexnet_conv_layers();
-        let limits = DegradationLimits::default();
-        let healthy = quote(&cfg, &PowerAssumptions::default(), &layers).unwrap();
-        let aged = quote_degraded(
-            &cfg,
-            &PowerAssumptions::default(),
-            &layers,
-            &HealthState {
-                laser_power_factor: 0.5,
-                ..HealthState::nominal()
-            },
-            &limits,
+        let healthy = nominal(&layers);
+        let aged = service_quote(
+            &QuoteRequest::new(&cfg, &PowerAssumptions::default(), &layers).with_health(
+                HealthState {
+                    laser_power_factor: 0.5,
+                    ..HealthState::nominal()
+                },
+            ),
         )
         .unwrap()
         .unwrap();
@@ -374,36 +649,42 @@ mod tests {
                 < 1e-15,
             "the delta is exactly the reported compensation"
         );
+        // compensation holds the power but not the converter utilization:
+        // the accuracy axis still pays
+        assert!(aged.quote.accuracy.effective_bits < healthy.accuracy.effective_bits);
     }
 
     #[test]
     fn infeasible_degradations_return_none() {
         let cfg = PcnnaConfig::default();
         let layers = zoo::alexnet_conv_layers();
-        let limits = DegradationLimits::default();
-        let q = |health: &HealthState| {
-            quote_degraded(&cfg, &PowerAssumptions::default(), &layers, health, &limits).unwrap()
+        let q = |health: HealthState| {
+            service_quote(
+                &QuoteRequest::new(&cfg, &PowerAssumptions::default(), &layers).with_health(health),
+            )
+            .unwrap()
         };
+        let limits = DegradationLimits::default();
         // thermal drift past the budget: weights are wrong
-        assert!(q(&HealthState {
+        assert!(q(HealthState {
             ambient_delta_k: limits.max_ambient_excursion_k * 2.0,
             ..HealthState::nominal()
         })
         .is_none());
         // laser below the SNR floor
-        assert!(q(&HealthState {
+        assert!(q(HealthState {
             laser_power_factor: limits.min_laser_power_factor * 0.5,
             ..HealthState::nominal()
         })
         .is_none());
         // every input channel dead
-        assert!(q(&HealthState {
+        assert!(q(HealthState {
             dead_input_channels: cfg.n_input_dacs,
             ..HealthState::nominal()
         })
         .is_none());
         // every output channel dead (even overshooting the count)
-        assert!(q(&HealthState {
+        assert!(q(HealthState {
             dead_output_channels: cfg.n_adcs + 7,
             ..HealthState::nominal()
         })
@@ -412,9 +693,146 @@ mod tests {
 
     #[test]
     fn empty_network_quotes_zero() {
-        let q = quote(&PcnnaConfig::default(), &PowerAssumptions::default(), &[]).unwrap();
+        let q = nominal(&[]);
         assert_eq!(q.weight_load, SimTime::ZERO);
         assert_eq!(q.per_frame, SimTime::ZERO);
         assert_eq!(q.batch_energy_j(10), 0.0);
+    }
+
+    #[test]
+    fn accuracy_equals_pristine_at_nominal_health() {
+        let q = nominal(&zoo::alexnet_conv_layers());
+        assert_eq!(q.accuracy.top1_accuracy, q.accuracy.pristine_accuracy);
+        assert_eq!(
+            q.accuracy.effective_bits,
+            PcnnaConfig::default().adc.effective_bits()
+        );
+        assert_eq!(q.accuracy.snr_db, 6.02 * 8.0 + 1.76);
+    }
+
+    #[test]
+    fn accuracy_is_monotone_under_worsening_health() {
+        let cfg = PcnnaConfig::default();
+        let layers = zoo::alexnet_conv_layers();
+        let assumptions = PowerAssumptions::default();
+        // a loose envelope so every rung stays serviceable
+        let limits = DegradationLimits {
+            max_ambient_excursion_k: 10.0,
+            min_laser_power_factor: 0.01,
+        };
+        let acc = |health: HealthState| {
+            service_quote(
+                &QuoteRequest::new(&cfg, &assumptions, &layers)
+                    .with_health(health)
+                    .with_limits(limits),
+            )
+            .unwrap()
+            .expect("serviceable under the loose envelope")
+            .quote
+            .accuracy
+        };
+        // drift axis
+        let mut prev = acc(HealthState::nominal());
+        for i in 1..=8 {
+            let now = acc(HealthState {
+                ambient_delta_k: 0.25 * f64::from(i),
+                ..HealthState::nominal()
+            });
+            assert!(now.top1_accuracy <= prev.top1_accuracy, "drift step {i}");
+            assert!(now.effective_bits <= prev.effective_bits);
+            assert!(now.snr_db < prev.snr_db);
+            prev = now;
+        }
+        // laser axis
+        prev = acc(HealthState::nominal());
+        for i in 1..=9 {
+            let now = acc(HealthState {
+                laser_power_factor: 1.0 - 0.1 * f64::from(i),
+                ..HealthState::nominal()
+            });
+            assert!(now.top1_accuracy <= prev.top1_accuracy, "laser step {i}");
+            assert!(now.effective_bits <= prev.effective_bits);
+            prev = now;
+        }
+        // dead-channel axis
+        prev = acc(HealthState::nominal());
+        for i in 1..=6usize {
+            let now = acc(HealthState {
+                dead_input_channels: i,
+                dead_output_channels: i / 2,
+                ..HealthState::nominal()
+            });
+            assert!(now.top1_accuracy <= prev.top1_accuracy, "dead step {i}");
+            assert!(now.effective_bits <= prev.effective_bits);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn heavy_degradation_costs_real_accuracy() {
+        let cfg = PcnnaConfig::default();
+        let layers = zoo::alexnet_conv_layers();
+        let loose = DegradationLimits {
+            max_ambient_excursion_k: 2.0,
+            min_laser_power_factor: 0.1,
+        };
+        let hot = service_quote(
+            &QuoteRequest::new(&cfg, &PowerAssumptions::default(), &layers)
+                .with_health(HealthState {
+                    ambient_delta_k: 1.0,
+                    ..HealthState::nominal()
+                })
+                .with_limits(loose),
+        )
+        .unwrap()
+        .unwrap()
+        .quote
+        .accuracy;
+        assert!(
+            hot.top1_accuracy < hot.pristine_accuracy - 0.05,
+            "1 K of uncompensated drift should visibly cost top-1: {} vs {}",
+            hot.top1_accuracy,
+            hot.pristine_accuracy
+        );
+    }
+
+    #[test]
+    fn accuracy_memo_is_bit_identical_across_threads() {
+        let layers = zoo::alexnet_conv_layers();
+        let healths = [
+            HealthState::nominal(),
+            HealthState {
+                ambient_delta_k: 0.6,
+                ..HealthState::nominal()
+            },
+            HealthState {
+                laser_power_factor: 0.35,
+                ..HealthState::nominal()
+            },
+        ];
+        let run = move || {
+            let cfg = PcnnaConfig::default();
+            healths
+                .iter()
+                .map(|h| accuracy_quote(&cfg, &zoo::alexnet_conv_layers(), h))
+                .collect::<Vec<_>>()
+        };
+        let baseline = {
+            let cfg = PcnnaConfig::default();
+            healths
+                .iter()
+                .map(|h| accuracy_quote(&cfg, &layers, h))
+                .collect::<Vec<_>>()
+        };
+        let handles: Vec<_> = (0..8).map(|_| std::thread::spawn(run)).collect();
+        for handle in handles {
+            let got = handle.join().expect("worker thread");
+            for (a, b) in got.iter().zip(&baseline) {
+                assert_eq!(a.snr_db.to_bits(), b.snr_db.to_bits());
+                assert_eq!(a.effective_bits, b.effective_bits);
+                assert_eq!(a.top1_accuracy.to_bits(), b.top1_accuracy.to_bits());
+                assert_eq!(a.pristine_accuracy.to_bits(), b.pristine_accuracy.to_bits());
+            }
+        }
     }
 }

@@ -60,6 +60,11 @@ pub struct WindowObservation {
     pub booting: usize,
     /// Instances parked by the control plane at the boundary.
     pub parked: usize,
+    /// Worst (lowest) quoted top-1 accuracy across the active fleet's
+    /// serviceable (instance, class) pairs at the boundary; `1.0` when
+    /// nothing is active (no evidence of drift). This is the signal the
+    /// policies' `accuracy_guard` watches.
+    pub worst_quoted_accuracy: f64,
 }
 
 /// Snapshots cumulative engine state and emits per-window deltas.
@@ -143,6 +148,7 @@ impl Observer {
             active,
             booting,
             parked,
+            worst_quoted_accuracy: cell.worst_quoted_accuracy(),
         };
         self.index += 1;
         self.t_prev = t1;

@@ -127,19 +127,29 @@ pub trait ControlPolicy {
 /// window of fleet service. Only classes strictly looser than the
 /// tightest are ever sacrificed — with one class (or uniform SLOs)
 /// the guard does nothing and the scaler carries the whole burden.
+///
+/// `accuracy_guard` is the second, independent trip wire: when the
+/// fleet's worst quoted top-1 accuracy falls **strictly below** it,
+/// the guard presses even at healthy latency — shedding deferrable
+/// work so drifted hardware stops burning capacity on answers the
+/// accuracy-critical classes can't use. `0.0` (the default) can never
+/// fire, because quoted accuracies live in `[0, 1]`.
 fn overload_guard(
     obs: &WindowObservation,
     view: &FleetView,
     p99_guard_frac: f64,
+    accuracy_guard: f64,
 ) -> (Vec<Admission>, Vec<Option<usize>>) {
     let mut admission = vec![Admission::Open; view.n_classes];
     let mut shed_to = vec![None; view.n_classes];
     let provision = (obs.active + obs.booting).max(1);
     let window_capacity =
         (view.capacity_rps_per_instance * view.window_s * provision as f64).ceil() as usize;
-    let pressed =
+    let latency_pressed =
         obs.p99_s > p99_guard_frac * view.tightest_slo_s && obs.queue_depth > window_capacity;
-    if pressed {
+    let accuracy_pressed =
+        obs.worst_quoted_accuracy < accuracy_guard && obs.queue_depth > window_capacity;
+    if latency_pressed || accuracy_pressed {
         for &victim in &view.shed_priority {
             if view.class_slo_s[victim] > view.tightest_slo_s {
                 admission[victim] = Admission::Closed;
@@ -188,6 +198,9 @@ pub struct ReactivePolicy {
     /// Fraction of the tightest SLO the window p99 may reach before
     /// the overload guard sheds low-priority work (default 0.7).
     pub p99_guard_frac: f64,
+    /// Worst quoted top-1 accuracy below which the overload guard
+    /// presses regardless of latency (default 0.0 = never).
+    pub accuracy_guard: f64,
     /// Consecutive low-load windows required before each scale-down
     /// (default 2).
     pub cooldown_windows: u32,
@@ -200,6 +213,7 @@ impl Default for ReactivePolicy {
             scale_up_load: 0.75,
             scale_down_load: 0.35,
             p99_guard_frac: 0.7,
+            accuracy_guard: 0.0,
             cooldown_windows: 2,
             low_streak: 0,
         }
@@ -243,7 +257,8 @@ impl ControlPolicy for ReactivePolicy {
         } else {
             self.low_streak = 0;
         }
-        let (admission, shed_to) = overload_guard(obs, view, self.p99_guard_frac);
+        let (admission, shed_to) =
+            overload_guard(obs, view, self.p99_guard_frac, self.accuracy_guard);
         ControlAction {
             target_active: target,
             admission,
@@ -274,6 +289,9 @@ pub struct PredictivePolicy {
     /// Fraction of the tightest SLO the window p99 may reach before
     /// the overload guard sheds low-priority work (default 0.7).
     pub p99_guard_frac: f64,
+    /// Worst quoted top-1 accuracy below which the overload guard
+    /// presses regardless of latency (default 0.0 = never).
+    pub accuracy_guard: f64,
     level: f64,
     trend: f64,
     primed: bool,
@@ -286,6 +304,7 @@ impl Default for PredictivePolicy {
             beta: 0.2,
             target_util: 0.6,
             p99_guard_frac: 0.7,
+            accuracy_guard: 0.0,
             level: 0.0,
             trend: 0.0,
             primed: false,
@@ -328,7 +347,8 @@ impl ControlPolicy for PredictivePolicy {
         } else {
             obs.active + obs.booting
         };
-        let (admission, shed_to) = overload_guard(obs, view, self.p99_guard_frac);
+        let (admission, shed_to) =
+            overload_guard(obs, view, self.p99_guard_frac, self.accuracy_guard);
         ControlAction {
             target_active: target,
             admission,
@@ -374,6 +394,7 @@ mod tests {
             active,
             booting: 0,
             parked: 8 - active,
+            worst_quoted_accuracy: 1.0,
         }
     }
 
@@ -419,6 +440,33 @@ mod tests {
         // healthy latency ⇒ guard stands down
         let calm = p.plan(&obs(10, 500, 4, 0.001), &v);
         assert!(calm.admission.iter().all(|a| *a == Admission::Open));
+    }
+
+    #[test]
+    fn accuracy_guard_sheds_at_healthy_latency() {
+        let mut p = ReactivePolicy {
+            accuracy_guard: 0.85,
+            ..ReactivePolicy::new()
+        };
+        let v = view();
+        // healthy p99, deep backlog, but the fleet's worst quote has
+        // drifted below the guard
+        let mut drifted = obs(10, 500, 4, 0.001);
+        drifted.worst_quoted_accuracy = 0.77;
+        let act = p.plan(&drifted, &v);
+        assert_eq!(act.admission[1], Admission::Closed, "loose class closed");
+        assert!(act.shed_to[1].is_some());
+        // at the guard exactly (strict <) the guard stands down
+        let mut at_guard = obs(10, 500, 4, 0.001);
+        at_guard.worst_quoted_accuracy = 0.85;
+        let calm = p.plan(&at_guard, &v);
+        assert!(calm.admission.iter().all(|a| *a == Admission::Open));
+        // default guard 0.0 can never fire, whatever the quote
+        let mut p0 = ReactivePolicy::new();
+        let mut worst = obs(10, 500, 4, 0.001);
+        worst.worst_quoted_accuracy = 0.0;
+        let never = p0.plan(&worst, &v);
+        assert!(never.admission.iter().all(|a| *a == Admission::Open));
     }
 
     #[test]

@@ -42,7 +42,7 @@ use crate::metrics::{LatencyHistogram, ResilienceStats};
 use crate::scheduler::{ClassQueues, Policy};
 use crate::telemetry::{HealthMix, NullSink, ProfileOp, TraceEventKind, TraceSink, NO_REQUEST};
 use crate::workload::Request;
-use pcnna_core::serving::{quote_degraded, ServiceQuote};
+use pcnna_core::serving::{service_quote, QuoteRequest, ServiceQuote};
 use pcnna_photonics::degradation::HealthState;
 
 /// One in-flight batch slot: the (cell-local) class served, a reusable
@@ -56,6 +56,10 @@ struct InflightSlot {
     started_s: f64,
     done_s: f64,
     energy_j: f64,
+    /// Top-1 accuracy quoted for the serving instance at dispatch.
+    accuracy: f64,
+    /// Whether that quote was below the class's `min_accuracy` floor.
+    below_accuracy: bool,
 }
 
 /// Slab arena for in-flight batches, indexed by `u32` handles.
@@ -91,12 +95,29 @@ impl InflightArena {
         }
     }
 
-    /// Records a batch's dispatch provenance (for abort refunds).
-    fn note_dispatch(&mut self, handle: u32, started_s: f64, done_s: f64, energy_j: f64) {
+    /// Records a batch's dispatch provenance (for abort refunds) and the
+    /// accuracy it was quoted at.
+    fn note_dispatch(
+        &mut self,
+        handle: u32,
+        started_s: f64,
+        done_s: f64,
+        energy_j: f64,
+        accuracy: f64,
+        below_accuracy: bool,
+    ) {
         let slot = &mut self.slots[handle as usize];
         slot.started_s = started_s;
         slot.done_s = done_s;
         slot.energy_j = energy_j;
+        slot.accuracy = accuracy;
+        slot.below_accuracy = below_accuracy;
+    }
+
+    /// The accuracy a batch was quoted at: `(accuracy, below_floor)`.
+    fn accuracy(&self, handle: u32) -> (f64, bool) {
+        let slot = &self.slots[handle as usize];
+        (slot.accuracy, slot.below_accuracy)
     }
 
     /// The dispatch provenance of an in-flight batch:
@@ -137,6 +158,8 @@ struct QuoteF {
     per_frame_s: f64,
     weight_load_j: f64,
     per_frame_j: f64,
+    /// Quoted top-1 accuracy on this instance's current health.
+    top1: f64,
 }
 
 impl QuoteF {
@@ -146,6 +169,7 @@ impl QuoteF {
             per_frame_s: q.per_frame.as_secs_f64(),
             weight_load_j: q.weight_load_energy_j,
             per_frame_j: q.per_frame_energy_j,
+            top1: q.accuracy.top1_accuracy,
         }
     }
 }
@@ -188,6 +212,11 @@ pub(crate) struct ClassSlice {
     pub on_time: u64,
     /// Requests of this class shed from the queue by the control plane.
     pub shed: u64,
+    /// Completions quoted at or above the class's accuracy floor.
+    pub on_accuracy: u64,
+    /// Completions quoted below the class's accuracy floor (served
+    /// anyway — accuracy routing was off or the floor is 0).
+    pub below_accuracy: u64,
     pub hist: LatencyHistogram,
 }
 
@@ -269,6 +298,12 @@ pub(crate) struct CellEngine<'a, S: TraceSink = NullSink> {
     admitted_per_class: Vec<u64>,
     hist_per_class: Vec<LatencyHistogram>,
     on_time_per_class: Vec<u64>,
+    on_accuracy_per_class: Vec<u64>,
+    below_accuracy_per_class: Vec<u64>,
+    /// Per-local-class accuracy floors ([`NetworkClass::min_accuracy`]).
+    ///
+    /// [`NetworkClass::min_accuracy`]: crate::workload::NetworkClass::min_accuracy
+    min_accuracy: Vec<f64>,
     /// Where lifecycle events and profile counts go (ZST when disabled).
     sink: S,
 }
@@ -294,7 +329,7 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
         for (local, &global) in spec.classes.iter().enumerate() {
             class_local[global] = local;
         }
-        let quotes_f = spec
+        let quotes_f: Vec<QuoteF> = spec
             .instances
             .clone()
             .flat_map(|i| {
@@ -303,6 +338,24 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
                     .map(move |&c| QuoteF::from_quote(quotes.get(i, c)))
             })
             .collect();
+        let min_accuracy: Vec<f64> = spec
+            .classes
+            .iter()
+            .map(|&c| scenario.classes[c].min_accuracy)
+            .collect();
+        // Under accuracy routing a pair whose quoted accuracy starts
+        // below its class floor is never served (an infeasible floor
+        // leaves those requests unserved — refusing, not serving
+        // garbage). Without routing every pair starts serviceable.
+        let serviceable: Vec<bool> = if scenario.accuracy_routing {
+            quotes_f
+                .iter()
+                .enumerate()
+                .map(|(idx, q)| q.top1 >= min_accuracy[idx % n_classes])
+                .collect()
+        } else {
+            vec![true; n_instances * n_classes]
+        };
         CellEngine {
             scenario,
             classes: spec.classes.clone(),
@@ -337,6 +390,9 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
             admitted_per_class: vec![0; n_classes],
             hist_per_class: (0..n_classes).map(|_| LatencyHistogram::new()).collect(),
             on_time_per_class: vec![0; n_classes],
+            on_accuracy_per_class: vec![0; n_classes],
+            below_accuracy_per_class: vec![0; n_classes],
+            min_accuracy,
             health: vec![HealthState::nominal(); n_instances],
             up: vec![true; n_instances],
             draining: vec![None; n_instances],
@@ -346,7 +402,7 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
             offline_from: vec![None; n_instances],
             offline_s: 0.0,
             epoch: vec![0; n_instances],
-            serviceable: vec![true; n_instances * n_classes],
+            serviceable,
             rank_buf: Vec::new(),
             parked: vec![false; n_instances],
             park_pending: vec![false; n_instances],
@@ -611,6 +667,27 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
         self.busy_time_s.iter().sum()
     }
 
+    /// The worst quoted top-1 accuracy across the cell's active
+    /// instances (over their serviceable class pairs). `1.0` when
+    /// nothing is active or serviceable — "no evidence of drift", so a
+    /// strict `<` accuracy guard never fires on it. Deterministic: a
+    /// pure fold over the quote table in index order.
+    pub(crate) fn worst_quoted_accuracy(&self) -> f64 {
+        let mut worst = 1.0f64;
+        for i in 0..self.busy.len() {
+            if !(self.up[i] || self.busy[i].is_some()) {
+                continue;
+            }
+            for c in 0..self.n_classes {
+                let idx = i * self.n_classes + c;
+                if self.serviceable[idx] {
+                    worst = worst.min(self.quotes_f[idx].top1);
+                }
+            }
+        }
+        worst
+    }
+
     /// Classifies every instance into the telemetry health mix. The
     /// first seven buckets partition the fleet (drain states are
     /// checked before `busy`, since a draining instance still has a
@@ -666,6 +743,7 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
         }
         self.res.offline_s = self.offline_s;
         self.res.unserved = self.admitted - self.completed - self.res.shed;
+        self.res.below_accuracy = self.below_accuracy_per_class.iter().sum();
         let classes = self
             .classes
             .iter()
@@ -673,13 +751,19 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
             .zip(&self.on_time_per_class)
             .zip(&self.admitted_per_class)
             .zip(&self.shed_per_class)
+            .zip(&self.on_accuracy_per_class)
+            .zip(&self.below_accuracy_per_class)
             .map(
-                |((((&class, hist), &on_time), &admitted), &shed)| ClassSlice {
-                    class,
-                    admitted,
-                    on_time,
-                    shed,
-                    hist,
+                |((((((&class, hist), &on_time), &admitted), &shed), &on_accuracy), &below)| {
+                    ClassSlice {
+                        class,
+                        admitted,
+                        on_time,
+                        shed,
+                        on_accuracy,
+                        below_accuracy: below,
+                        hist,
+                    }
                 },
             )
             .collect();
@@ -705,20 +789,27 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
     fn on_completion(&mut self, instance: usize, tc: f64) {
         let handle = self.busy[instance].take().expect("completion on idle");
         let class = self.inflight.class(handle);
+        let (accuracy, below_accuracy) = self.inflight.accuracy(handle);
         for r in self.inflight.requests(handle) {
             let latency = tc - r.arrival_s;
             self.hist_per_class[class].record(latency);
             if tc <= r.deadline_s {
                 self.on_time_per_class[class] += 1;
             }
+            if below_accuracy {
+                self.below_accuracy_per_class[class] += 1;
+            } else {
+                self.on_accuracy_per_class[class] += 1;
+            }
             self.completed += 1;
             if S::ENABLED && self.sink.is_traced(r.id) {
-                self.sink.event(
+                self.sink.event_with_accuracy(
                     TraceEventKind::Complete,
                     tc,
                     r.id,
                     self.classes[class],
                     self.instance_start + instance,
+                    accuracy,
                 );
             }
         }
@@ -898,23 +989,25 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
     /// current health. States the core models cannot quote (unserviceable
     /// drift/laser, no live channels, or a downstream model failure) mark
     /// the (instance, class) pair non-serviceable instead of aborting the
-    /// simulation.
+    /// simulation; under accuracy routing, a quote below the class's
+    /// accuracy floor does the same — the pair is refused, not served
+    /// below spec.
     fn requote(&mut self, instance: usize) {
         self.res.requotes += 1;
         let config = &self.scenario.instances[self.instance_start + instance];
         for (c, &global) in self.classes.iter().enumerate() {
             let class = &self.scenario.classes[global];
             let idx = instance * self.n_classes + c;
-            match quote_degraded(
-                config,
-                &self.scenario.assumptions,
-                &class.layer_refs(),
-                &self.health[instance],
-                &self.scenario.limits,
-            ) {
+            let layers = class.layer_refs();
+            let request = QuoteRequest::new(config, &self.scenario.assumptions, &layers)
+                .with_health(self.health[instance])
+                .with_limits(self.scenario.limits);
+            match service_quote(&request) {
                 Ok(Some(dq)) => {
-                    self.quotes_f[idx] = QuoteF::from_quote(dq.quote);
-                    self.serviceable[idx] = true;
+                    let q = QuoteF::from_quote(dq.quote);
+                    self.serviceable[idx] =
+                        !self.scenario.accuracy_routing || q.top1 >= self.min_accuracy[c];
+                    self.quotes_f[idx] = q;
                 }
                 Ok(None) | Err(_) => self.serviceable[idx] = false,
             }
@@ -1065,18 +1158,22 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
             let service_s = self.service_seconds(instance, class, n);
             let done = now + service_s;
             let energy_j = self.service_energy_j(instance, class, n);
-            self.inflight.note_dispatch(handle, now, done, energy_j);
+            let accuracy = self.quotes_f[instance * self.n_classes + class].top1;
+            let below_accuracy = accuracy < self.min_accuracy[class];
+            self.inflight
+                .note_dispatch(handle, now, done, energy_j, accuracy, below_accuracy);
             if S::ENABLED {
                 // one time quote + one energy quote priced per batch
                 self.sink.count(ProfileOp::QuoteLookup, 2);
                 for r in self.inflight.requests(handle) {
                     if self.sink.is_traced(r.id) {
-                        self.sink.event(
+                        self.sink.event_with_accuracy(
                             TraceEventKind::Dispatch,
                             now,
                             r.id,
                             self.classes[class],
                             self.instance_start + instance,
+                            accuracy,
                         );
                     }
                 }

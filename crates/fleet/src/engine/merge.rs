@@ -80,11 +80,13 @@ pub(crate) fn assemble(scenario: &FleetScenario, outcomes: &[CellOutcome]) -> Fl
     // class order — the identical order the single-cell engine uses.
     let mut all = LatencyHistogram::new();
     let mut on_time_total = 0u64;
+    let mut on_accuracy_total = 0u64;
     let mut per_class = Vec::with_capacity(n_classes);
     for (c, class) in scenario.classes.iter().enumerate() {
         let slice = class_slots[c].expect("every class is owned by exactly one cell");
         all.merge(&slice.hist);
         on_time_total += slice.on_time;
+        on_accuracy_total += slice.on_accuracy;
         let class_completed = slice.hist.count();
         per_class.push(ClassReport {
             name: class.name.clone(),
@@ -94,6 +96,13 @@ pub(crate) fn assemble(scenario: &FleetScenario, outcomes: &[CellOutcome]) -> Fl
             unserved: slice.admitted - class_completed - slice.shed,
             slo_attainment: if class_completed > 0 {
                 slice.on_time as f64 / class_completed as f64
+            } else {
+                0.0
+            },
+            on_accuracy: slice.on_accuracy,
+            below_accuracy: slice.below_accuracy,
+            accuracy_attainment: if class_completed > 0 {
+                slice.on_accuracy as f64 / class_completed as f64
             } else {
                 0.0
             },
@@ -121,6 +130,11 @@ pub(crate) fn assemble(scenario: &FleetScenario, outcomes: &[CellOutcome]) -> Fl
         per_instance_batches,
         slo_attainment: if completed > 0 {
             on_time_total as f64 / completed as f64
+        } else {
+            0.0
+        },
+        accuracy_attainment: if completed > 0 {
+            on_accuracy_total as f64 / completed as f64
         } else {
             0.0
         },

@@ -61,7 +61,7 @@ use crate::workload::{ArrivalProcess, NetworkClass};
 use crate::{FleetError, Result};
 use pcnna_core::config::PcnnaConfig;
 use pcnna_core::power::PowerAssumptions;
-use pcnna_core::serving::{quote, ServiceQuote};
+use pcnna_core::serving::{service_quote, QuoteRequest, ServiceQuote};
 use pcnna_photonics::degradation::DegradationLimits;
 use serde::{Deserialize, Serialize};
 
@@ -106,6 +106,18 @@ pub struct FleetScenario {
     /// Serviceability envelope used when requoting degraded instances.
     #[serde(default)]
     pub limits: DegradationLimits,
+    /// Accuracy-aware dispatch. When `true`, an instance whose quoted
+    /// top-1 accuracy has drifted below a class's
+    /// [`NetworkClass::min_accuracy`] is treated as unserviceable *for
+    /// that class*: dispatch routes the class's batches to instances
+    /// that still meet the floor, and if none remain the requests are
+    /// counted unserved (refusing beats serving garbage). When `false`
+    /// (the default) accuracy is still quoted and *accounted* —
+    /// completions below the floor land in the served-below-accuracy
+    /// ledger — but routing ignores it, which is the pre-accuracy
+    /// behavior bit for bit.
+    #[serde(default)]
+    pub accuracy_routing: bool,
 }
 
 impl Default for FleetScenario {
@@ -123,6 +135,7 @@ impl Default for FleetScenario {
             seed: 0,
             faults: FaultTimeline::new(),
             limits: DegradationLimits::default(),
+            accuracy_routing: false,
         }
     }
 }
@@ -169,6 +182,12 @@ impl FleetScenario {
             if !(c.slo_s > 0.0) {
                 return fail(format!("class {} SLO must be positive", c.name));
             }
+            if !(0.0..=1.0).contains(&c.min_accuracy) {
+                return fail(format!(
+                    "class {} min_accuracy must be in [0, 1], got {}",
+                    c.name, c.min_accuracy
+                ));
+            }
         }
         if let Err(reason) = self.faults.validate(self.instances.len()) {
             return fail(format!("fault timeline: {reason}"));
@@ -205,9 +224,16 @@ impl FleetScenario {
                 let row = per_instance[j].clone();
                 per_instance.push(row);
             } else {
+                config.validate()?;
                 let mut row = Vec::with_capacity(self.classes.len());
                 for class in &self.classes {
-                    row.push(quote(config, &self.assumptions, &class.layer_refs())?);
+                    let layers = class.layer_refs();
+                    let request = QuoteRequest::new(config, &self.assumptions, &layers);
+                    row.push(
+                        service_quote(&request)?
+                            .expect("nominal hardware on a valid config is always serviceable")
+                            .quote,
+                    );
                 }
                 distinct.push(i);
                 per_instance.push(row);

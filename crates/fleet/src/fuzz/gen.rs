@@ -86,12 +86,23 @@ impl ScenarioGen {
         );
         let horizon_s = rng.range(0.02, 0.05);
 
+        // ~25% of classes carry an accuracy SLO; floors reach above the
+        // pristine proxy top-1 (~0.89), so some classes are accuracy-
+        // infeasible everywhere — the refusal path the oracles audit.
+        let sample_floor = |rng: &mut Rng| {
+            if rng.chance(0.25) {
+                rng.range(0.5, 0.95)
+            } else {
+                0.0
+            }
+        };
         let mut classes = Vec::new();
         if rng.chance(0.8) {
             classes.push(ClassSpec {
                 network: "lenet5".to_owned(),
                 slo_s: rng.range(0.0005, 0.004),
                 weight: rng.range(0.5, 4.0),
+                min_accuracy: sample_floor(&mut rng),
             });
         }
         if classes.is_empty() || rng.chance(0.6) {
@@ -99,6 +110,7 @@ impl ScenarioGen {
                 network: "alexnet".to_owned(),
                 slo_s: rng.range(0.002, 0.01),
                 weight: rng.range(0.5, 4.0),
+                min_accuracy: sample_floor(&mut rng),
             });
         }
         if rng.chance(0.15) {
@@ -106,8 +118,10 @@ impl ScenarioGen {
                 network: "vgg16".to_owned(),
                 slo_s: rng.range(0.02, 0.08),
                 weight: rng.range(0.2, 1.0),
+                min_accuracy: sample_floor(&mut rng),
             });
         }
+        let accuracy_routing = rng.chance(0.4);
 
         let arrival = match rng.below(3) {
             0 => ArrivalProcess::Poisson {
@@ -203,6 +217,11 @@ impl ScenarioGen {
                     scale_up_load: rng.range(0.6, 0.9),
                     scale_down_load: rng.range(0.1, 0.4),
                     p99_guard_frac: rng.range(0.6, 0.9),
+                    accuracy_guard: if rng.chance(0.3) {
+                        rng.range(0.5, 0.9)
+                    } else {
+                        0.0
+                    },
                     cooldown_windows: 1 + rng.below(4) as u32,
                 }
             } else {
@@ -211,6 +230,11 @@ impl ScenarioGen {
                     beta: rng.range(0.05, 0.3),
                     target_util: rng.range(0.5, 0.8),
                     p99_guard_frac: rng.range(0.6, 0.9),
+                    accuracy_guard: if rng.chance(0.3) {
+                        rng.range(0.5, 0.9)
+                    } else {
+                        0.0
+                    },
                 }
             };
             Some(ControlSpec {
@@ -241,6 +265,7 @@ impl ScenarioGen {
             max_batch: 1 << rng.below(6),
             queue_capacity: [64usize, 1024, 100_000][rng.below(3) as usize],
             resident_weights: rng.chance(0.8),
+            accuracy_routing,
             horizon_s,
             seed: rng.next_u64(),
             limits,
@@ -293,5 +318,21 @@ mod tests {
         assert!(specs
             .iter()
             .any(|s| matches!(s.arrival, ArrivalProcess::Diurnal { .. })));
+        assert!(
+            specs
+                .iter()
+                .any(|s| s.accuracy_routing && s.classes.iter().any(|c| c.min_accuracy > 0.0)),
+            "accuracy SLOs must be exercised under routing"
+        );
+        assert!(
+            specs.iter().any(|s| s.control.as_ref().is_some_and(|c| {
+                matches!(
+                    c.policy,
+                    PolicySpec::Reactive { accuracy_guard, .. }
+                    | PolicySpec::Predictive { accuracy_guard, .. } if accuracy_guard > 0.0
+                )
+            })),
+            "accuracy guard must be exercised"
+        );
     }
 }

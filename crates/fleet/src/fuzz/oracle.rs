@@ -84,6 +84,7 @@ pub fn default_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(NoDispatchToDown),
         Box::new(ControlledBooks),
         Box::new(NoWedge),
+        Box::new(AccuracyBooks),
     ]
 }
 
@@ -436,7 +437,10 @@ impl Oracle for ControlledBooks {
 /// (a hard `Fail` or any `Degrade`), every admitted request must be
 /// served — `unserved > 0` is only legal when the timeline can strand
 /// capacity. Recalibration-only timelines always return instances to
-/// service, so they can never wedge the fleet.
+/// service, so they can never wedge the fleet. Accuracy routing is the
+/// second legal stranding mechanism: a class whose `min_accuracy` floor
+/// no instance meets is refused service rather than served garbage, so
+/// its admitted backlog legitimately ends unserved.
 pub struct NoWedge;
 
 impl Oracle for NoWedge {
@@ -454,14 +458,69 @@ impl Oracle for NoWedge {
             .events()
             .iter()
             .any(|e| matches!(e.action, FaultAction::Fail | FaultAction::Degrade(_)));
-        if strand_capable {
+        let accuracy_gated =
+            run.spec.accuracy_routing && run.spec.classes.iter().any(|c| c.min_accuracy > 0.0);
+        if strand_capable || accuracy_gated {
             Ok(())
         } else {
             Err(format!(
                 "{} requests unserved although the fault timeline (only \
-                 recalibrations or nothing) cannot strand capacity",
+                 recalibrations or nothing) cannot strand capacity and no \
+                 accuracy floor gates dispatch",
                 run.sharded.resilience.unserved
             ))
         }
+    }
+}
+
+/// Accuracy bookkeeping: every completed request was quoted at or above
+/// its class floor or counted below it — per class
+/// `on_accuracy + below_accuracy = completed`, the per-class columns
+/// sum to the aggregate ledger, and without accuracy routing nothing
+/// may be served below floor (floors don't gate, but every floor is 0
+/// by default, so `below_accuracy` must be 0 unless a floor was set).
+pub struct AccuracyBooks;
+
+impl Oracle for AccuracyBooks {
+    fn name(&self) -> &'static str {
+        "accuracy-books"
+    }
+
+    fn check(&self, run: &RunArtifacts<'_>) -> core::result::Result<(), String> {
+        let mut sum_on = 0u64;
+        let mut sum_below = 0u64;
+        for c in &run.sharded.per_class {
+            if c.on_accuracy + c.below_accuracy != c.completed {
+                return Err(format!(
+                    "class {}: on_accuracy {} + below_accuracy {} ≠ completed {}",
+                    c.name, c.on_accuracy, c.below_accuracy, c.completed
+                ));
+            }
+            sum_on += c.on_accuracy;
+            sum_below += c.below_accuracy;
+        }
+        if sum_below != run.sharded.resilience.below_accuracy {
+            return Err(format!(
+                "per-class below_accuracy sums to {sum_below} but the \
+                 resilience ledger says {}",
+                run.sharded.resilience.below_accuracy
+            ));
+        }
+        if run.sharded.completed > 0 {
+            let expected = sum_on as f64 / run.sharded.completed as f64;
+            if run.sharded.accuracy_attainment != expected {
+                return Err(format!(
+                    "accuracy_attainment {} ≠ on_accuracy {sum_on} / completed {}",
+                    run.sharded.accuracy_attainment, run.sharded.completed
+                ));
+            }
+        }
+        let floors_set = run.spec.classes.iter().any(|c| c.min_accuracy > 0.0);
+        if !floors_set && sum_below > 0 {
+            return Err(format!(
+                "{sum_below} requests counted below a 0.0 accuracy floor"
+            ));
+        }
+        Ok(())
     }
 }

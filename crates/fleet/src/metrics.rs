@@ -320,6 +320,24 @@ pub struct ClassReport {
     pub unserved: u64,
     /// Fraction of completed requests that met their SLO deadline.
     pub slo_attainment: f64,
+    /// Completions quoted at or above the class's
+    /// [`min_accuracy`](crate::workload::NetworkClass::min_accuracy)
+    /// floor. Per class, `on_accuracy + below_accuracy = completed` —
+    /// the accuracy ledger partitions completions exactly as the SLO
+    /// ledger does.
+    #[serde(default)]
+    pub on_accuracy: u64,
+    /// Completions quoted **below** the class's accuracy floor — served
+    /// anyway because accuracy routing was off (or no compliant
+    /// instance existed when routing chose). Distinct from late: a
+    /// request can be on time yet below accuracy, or both.
+    #[serde(default)]
+    pub below_accuracy: u64,
+    /// Fraction of completed requests served at or above the class's
+    /// accuracy floor (`on_accuracy / completed`; 0 when none
+    /// completed, the same convention as `slo_attainment`).
+    #[serde(default)]
+    pub accuracy_attainment: f64,
     /// Latency order statistics.
     pub latency: LatencySummary,
     /// The class's full latency histogram. Exact under merge: the
@@ -362,6 +380,11 @@ pub struct ResilienceStats {
     /// them before the run ended (every survivor drained; conservation:
     /// `admitted = completed + unserved + shed`).
     pub unserved: u64,
+    /// Completions served below their class's accuracy floor (summed
+    /// over classes; see [`ClassReport::below_accuracy`]). Zero under
+    /// accuracy routing unless a floor was violated mid-flight.
+    #[serde(default)]
+    pub below_accuracy: u64,
 }
 
 impl Default for ResilienceStats {
@@ -377,6 +400,7 @@ impl Default for ResilienceStats {
             requotes: 0,
             shed: 0,
             unserved: 0,
+            below_accuracy: 0,
         }
     }
 }
@@ -401,6 +425,7 @@ impl ResilienceStats {
         self.requotes += other.requotes;
         self.shed += other.shed;
         self.unserved += other.unserved;
+        self.below_accuracy += other.below_accuracy;
     }
 }
 
@@ -438,6 +463,13 @@ pub struct FleetReport {
     pub energy_j: f64,
     /// Energy per completed request, joules.
     pub energy_per_request_j: f64,
+    /// Fraction of completed requests served at or above their class's
+    /// accuracy floor (`Σ on_accuracy / completed`; 0 when nothing
+    /// completed, the `slo_attainment` convention). Whenever every
+    /// floor is 0 this is 1.0 for any non-empty run — the pre-accuracy
+    /// scenarios report full attainment.
+    #[serde(default)]
+    pub accuracy_attainment: f64,
     /// Latency order statistics over all completed requests.
     pub latency: LatencySummary,
     /// Per-class breakdown.
@@ -482,10 +514,11 @@ impl FleetReport {
             1e3 * self.latency.max_s
         ));
         let r = &self.resilience;
-        if r.fault_events > 0 || r.unserved > 0 || r.shed > 0 {
+        if r.fault_events > 0 || r.unserved > 0 || r.shed > 0 || r.below_accuracy > 0 {
             out.push_str(&format!(
                 "faults {} (hard {}, recals {})  availability {:.2}%  \
-                 failed-over {}  shed {}  unserved {}  recal downtime {:.3} ms\n",
+                 failed-over {}  shed {}  unserved {}  below-accuracy {}  \
+                 recal downtime {:.3} ms\n",
                 r.fault_events,
                 r.hard_failures,
                 r.recalibrations,
@@ -493,19 +526,30 @@ impl FleetReport {
                 r.failed_over,
                 r.shed,
                 r.unserved,
+                r.below_accuracy,
                 1e3 * r.recal_downtime_s
+            ));
+        }
+        if self.per_class.iter().any(|c| c.below_accuracy > 0)
+            || (self.accuracy_attainment < 1.0 && self.completed > 0)
+        {
+            out.push_str(&format!(
+                "accuracy attainment {:.2}%  below-accuracy {}\n",
+                100.0 * self.accuracy_attainment,
+                self.per_class.iter().map(|c| c.below_accuracy).sum::<u64>()
             ));
         }
         for c in &self.per_class {
             out.push_str(&format!(
                 "  {:<12} admitted {:<8} completed {:<8} shed {:<6} \
-                 unserved {:<6} SLO {:.2}%  p50 {:.3} ms  p99 {:.3} ms\n",
+                 unserved {:<6} SLO {:.2}%  acc {:.2}%  p50 {:.3} ms  p99 {:.3} ms\n",
                 c.name,
                 c.admitted,
                 c.completed,
                 c.shed,
                 c.unserved,
                 100.0 * c.slo_attainment,
+                100.0 * c.accuracy_attainment,
                 1e3 * c.latency.p50_s,
                 1e3 * c.latency.p99_s
             ));
@@ -631,6 +675,7 @@ mod tests {
             requotes: 12,
             shed: 9,
             unserved: 7,
+            below_accuracy: 8,
         };
         // split the ledgers into two parts and merge them back
         let a = ResilienceStats {
@@ -644,6 +689,7 @@ mod tests {
             requotes: 5,
             shed: 3,
             unserved: 2,
+            below_accuracy: 3,
         };
         let b = ResilienceStats {
             fault_events: 4,
@@ -656,6 +702,7 @@ mod tests {
             requotes: 7,
             shed: 6,
             unserved: 5,
+            below_accuracy: 5,
         };
         let mut merged = ResilienceStats::default();
         merged.merge(&a);
@@ -669,6 +716,7 @@ mod tests {
         assert_eq!(merged.requotes, whole.requotes);
         assert_eq!(merged.shed, whole.shed);
         assert_eq!(merged.unserved, whole.unserved);
+        assert_eq!(merged.below_accuracy, whole.below_accuracy);
         // availability untouched by merge (recomputed by the caller)
         assert_eq!(merged.availability, 1.0);
     }

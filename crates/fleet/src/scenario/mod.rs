@@ -96,16 +96,22 @@ pub struct ClassSpec {
     pub slo_s: f64,
     /// Relative traffic weight (need not be normalized).
     pub weight: f64,
+    /// Accuracy SLO: minimum quoted top-1 an instance must sustain to
+    /// serve the class when the scenario's `accuracy_routing` is on
+    /// (default `0.0` = any accuracy is acceptable). Must be in
+    /// `[0, 1]`.
+    pub min_accuracy: f64,
 }
 
 impl ClassSpec {
     fn to_class(&self) -> Option<NetworkClass> {
-        match self.network.as_str() {
-            "alexnet" => Some(NetworkClass::alexnet(self.slo_s, self.weight)),
-            "lenet5" => Some(NetworkClass::lenet5(self.slo_s, self.weight)),
-            "vgg16" => Some(NetworkClass::vgg16(self.slo_s, self.weight)),
-            _ => None,
-        }
+        let class = match self.network.as_str() {
+            "alexnet" => NetworkClass::alexnet(self.slo_s, self.weight),
+            "lenet5" => NetworkClass::lenet5(self.slo_s, self.weight),
+            "vgg16" => NetworkClass::vgg16(self.slo_s, self.weight),
+            _ => return None,
+        };
+        Some(class.with_min_accuracy(self.min_accuracy))
     }
 }
 
@@ -202,6 +208,9 @@ pub enum PolicySpec {
         scale_down_load: f64,
         /// p99 fraction of the tightest SLO that arms the overload guard.
         p99_guard_frac: f64,
+        /// Worst quoted top-1 accuracy below which the guard presses
+        /// (`0.0` = never).
+        accuracy_guard: f64,
         /// Consecutive low-load windows before each scale-down.
         cooldown_windows: u32,
     },
@@ -215,6 +224,9 @@ pub enum PolicySpec {
         target_util: f64,
         /// p99 fraction of the tightest SLO that arms the overload guard.
         p99_guard_frac: f64,
+        /// Worst quoted top-1 accuracy below which the guard presses
+        /// (`0.0` = never).
+        accuracy_guard: f64,
     },
 }
 
@@ -231,6 +243,7 @@ impl PolicySpec {
                     scale_up_load: d.scale_up_load,
                     scale_down_load: d.scale_down_load,
                     p99_guard_frac: d.p99_guard_frac,
+                    accuracy_guard: d.accuracy_guard,
                     cooldown_windows: d.cooldown_windows,
                 })
             }
@@ -241,6 +254,7 @@ impl PolicySpec {
                     beta: d.beta,
                     target_util: d.target_util,
                     p99_guard_frac: d.p99_guard_frac,
+                    accuracy_guard: d.accuracy_guard,
                 })
             }
             _ => None,
@@ -266,12 +280,14 @@ impl PolicySpec {
                 scale_up_load,
                 scale_down_load,
                 p99_guard_frac,
+                accuracy_guard,
                 cooldown_windows,
             } => {
                 let mut p = ReactivePolicy::new();
                 p.scale_up_load = scale_up_load;
                 p.scale_down_load = scale_down_load;
                 p.p99_guard_frac = p99_guard_frac;
+                p.accuracy_guard = accuracy_guard;
                 p.cooldown_windows = cooldown_windows;
                 Box::new(p)
             }
@@ -280,12 +296,14 @@ impl PolicySpec {
                 beta,
                 target_util,
                 p99_guard_frac,
+                accuracy_guard,
             } => {
                 let mut p = PredictivePolicy::new();
                 p.alpha = alpha;
                 p.beta = beta;
                 p.target_util = target_util;
                 p.p99_guard_frac = p99_guard_frac;
+                p.accuracy_guard = accuracy_guard;
                 Box::new(p)
             }
         }
@@ -299,12 +317,20 @@ impl PolicySpec {
                 Err(format!("{label} must be in (0, 1], got {v}"))
             }
         };
+        let unit = |label: &str, v: f64| {
+            if v.is_finite() && (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(format!("{label} must be in [0, 1], got {v}"))
+            }
+        };
         match *self {
             PolicySpec::Hold => Ok(()),
             PolicySpec::Reactive {
                 scale_up_load,
                 scale_down_load,
                 p99_guard_frac,
+                accuracy_guard,
                 cooldown_windows,
             } => {
                 if !(scale_up_load > 0.0) || !scale_up_load.is_finite() {
@@ -318,6 +344,7 @@ impl PolicySpec {
                     ));
                 }
                 frac("p99_guard_frac", p99_guard_frac)?;
+                unit("accuracy_guard", accuracy_guard)?;
                 if cooldown_windows == 0 {
                     return Err("cooldown_windows must be at least 1".to_owned());
                 }
@@ -328,11 +355,13 @@ impl PolicySpec {
                 beta,
                 target_util,
                 p99_guard_frac,
+                accuracy_guard,
             } => {
                 frac("alpha", alpha)?;
                 frac("beta", beta)?;
                 frac("target_util", target_util)?;
-                frac("p99_guard_frac", p99_guard_frac)
+                frac("p99_guard_frac", p99_guard_frac)?;
+                unit("accuracy_guard", accuracy_guard)
             }
         }
     }
@@ -368,6 +397,9 @@ pub struct ScenarioSpec {
     pub queue_capacity: usize,
     /// Weight-residency assumption (see [`FleetScenario::resident_weights`]).
     pub resident_weights: bool,
+    /// Whether dispatch honors the classes' `min_accuracy` floors (see
+    /// [`FleetScenario::accuracy_routing`]; default `false`).
+    pub accuracy_routing: bool,
     /// Arrival horizon, seconds.
     pub horizon_s: f64,
     /// RNG seed (arrivals + class sampling).
@@ -459,6 +491,12 @@ impl ScenarioSpec {
                 return Err(invalid(format!(
                     "class {} weight must be finite and positive, got {}",
                     c.network, c.weight
+                )));
+            }
+            if !c.min_accuracy.is_finite() || !(0.0..=1.0).contains(&c.min_accuracy) {
+                return Err(invalid(format!(
+                    "class {} min_accuracy must be in [0, 1], got {}",
+                    c.network, c.min_accuracy
                 )));
             }
         }
@@ -612,6 +650,7 @@ impl ScenarioSpec {
             max_batch: self.max_batch,
             queue_capacity: self.queue_capacity,
             resident_weights: self.resident_weights,
+            accuracy_routing: self.accuracy_routing,
             horizon_s: self.horizon_s,
             seed: self.seed,
             faults,
@@ -646,6 +685,7 @@ impl ScenarioSpec {
                                 ("network".into(), json::str(&c.network)),
                                 ("slo_s".into(), json::num(c.slo_s)),
                                 ("weight".into(), json::num(c.weight)),
+                                ("min_accuracy".into(), json::num(c.min_accuracy)),
                             ])
                         })
                         .collect(),
@@ -658,6 +698,7 @@ impl ScenarioSpec {
             ("max_batch".into(), json::int(self.max_batch)),
             ("queue_capacity".into(), json::uint(self.queue_capacity)),
             ("resident_weights".into(), Json::Bool(self.resident_weights)),
+            ("accuracy_routing".into(), Json::Bool(self.accuracy_routing)),
             (
                 "limits".into(),
                 Json::Obj(vec![
@@ -721,7 +762,7 @@ impl ScenarioSpec {
         let fields = value
             .as_obj()
             .ok_or_else(|| invalid("scenario must be a JSON object".to_owned()))?;
-        const KNOWN: [&str; 14] = [
+        const KNOWN: [&str; 15] = [
             "name",
             "seed",
             "horizon_s",
@@ -732,6 +773,7 @@ impl ScenarioSpec {
             "max_batch",
             "queue_capacity",
             "resident_weights",
+            "accuracy_routing",
             "limits",
             "faults",
             "control",
@@ -786,6 +828,12 @@ impl ScenarioSpec {
                 .as_bool()
                 .ok_or_else(|| invalid("\"resident_weights\" must be a bool".to_owned()))?,
         };
+        let accuracy_routing = match value.get("accuracy_routing") {
+            None => defaults.accuracy_routing,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| invalid("\"accuracy_routing\" must be a bool".to_owned()))?,
+        };
         let limits = match value.get("limits") {
             None => DegradationLimits::default(),
             Some(v) => limits_from_json(v)?,
@@ -807,6 +855,7 @@ impl ScenarioSpec {
             max_batch,
             queue_capacity,
             resident_weights,
+            accuracy_routing,
             horizon_s,
             seed,
             limits,
@@ -959,11 +1008,16 @@ fn arrival_from_json(value: &Json) -> Result<ArrivalProcess> {
 // ---- classes / instances / limits ----------------------------------
 
 fn class_from_json(value: &Json) -> Result<ClassSpec> {
-    reject_unknown(value, &["network", "slo_s", "weight"], "class")?;
+    reject_unknown(
+        value,
+        &["network", "slo_s", "weight", "min_accuracy"],
+        "class",
+    )?;
     Ok(ClassSpec {
         network: req_str(value, "network")?,
         slo_s: req_f64(value, "slo_s")?,
         weight: req_f64(value, "weight")?,
+        min_accuracy: opt_f64(value, "min_accuracy")?.unwrap_or(0.0),
     })
 }
 
@@ -1201,12 +1255,14 @@ fn control_to_json(control: &ControlSpec) -> Json {
             scale_up_load,
             scale_down_load,
             p99_guard_frac,
+            accuracy_guard,
             cooldown_windows,
         } => Json::Obj(vec![
             ("kind".into(), json::str("reactive")),
             ("scale_up_load".into(), json::num(scale_up_load)),
             ("scale_down_load".into(), json::num(scale_down_load)),
             ("p99_guard_frac".into(), json::num(p99_guard_frac)),
+            ("accuracy_guard".into(), json::num(accuracy_guard)),
             (
                 "cooldown_windows".into(),
                 json::int(u64::from(cooldown_windows)),
@@ -1217,12 +1273,14 @@ fn control_to_json(control: &ControlSpec) -> Json {
             beta,
             target_util,
             p99_guard_frac,
+            accuracy_guard,
         } => Json::Obj(vec![
             ("kind".into(), json::str("predictive")),
             ("alpha".into(), json::num(alpha)),
             ("beta".into(), json::num(beta)),
             ("target_util".into(), json::num(target_util)),
             ("p99_guard_frac".into(), json::num(p99_guard_frac)),
+            ("accuracy_guard".into(), json::num(accuracy_guard)),
         ]),
     };
     let cfg = &control.config;
@@ -1254,6 +1312,7 @@ fn control_from_json(value: &Json) -> Result<ControlSpec> {
             "scale_up_load",
             "scale_down_load",
             "p99_guard_frac",
+            "accuracy_guard",
             "cooldown_windows",
             "alpha",
             "beta",
@@ -1273,12 +1332,14 @@ fn control_from_json(value: &Json) -> Result<ControlSpec> {
             scale_up_load,
             scale_down_load,
             p99_guard_frac,
+            accuracy_guard,
             cooldown_windows,
         } => {
             *scale_up_load = opt_f64(policy_value, "scale_up_load")?.unwrap_or(*scale_up_load);
             *scale_down_load =
                 opt_f64(policy_value, "scale_down_load")?.unwrap_or(*scale_down_load);
             *p99_guard_frac = opt_f64(policy_value, "p99_guard_frac")?.unwrap_or(*p99_guard_frac);
+            *accuracy_guard = opt_f64(policy_value, "accuracy_guard")?.unwrap_or(*accuracy_guard);
             if let Some(w) = opt_u64(policy_value, "cooldown_windows")? {
                 *cooldown_windows = u32::try_from(w)
                     .map_err(|_| invalid(format!("cooldown_windows {w} out of range")))?;
@@ -1289,11 +1350,13 @@ fn control_from_json(value: &Json) -> Result<ControlSpec> {
             beta,
             target_util,
             p99_guard_frac,
+            accuracy_guard,
         } => {
             *alpha = opt_f64(policy_value, "alpha")?.unwrap_or(*alpha);
             *beta = opt_f64(policy_value, "beta")?.unwrap_or(*beta);
             *target_util = opt_f64(policy_value, "target_util")?.unwrap_or(*target_util);
             *p99_guard_frac = opt_f64(policy_value, "p99_guard_frac")?.unwrap_or(*p99_guard_frac);
+            *accuracy_guard = opt_f64(policy_value, "accuracy_guard")?.unwrap_or(*accuracy_guard);
         }
     }
     let config = match value.get("config") {
@@ -1337,11 +1400,13 @@ mod tests {
                     network: "alexnet".to_owned(),
                     slo_s: 0.004,
                     weight: 1.0,
+                    min_accuracy: 0.0,
                 },
                 ClassSpec {
                     network: "lenet5".to_owned(),
                     slo_s: 0.001,
                     weight: 3.0,
+                    min_accuracy: 0.0,
                 },
             ],
             arrival: ArrivalProcess::Poisson { rate_rps: 45_000.0 },
@@ -1350,6 +1415,7 @@ mod tests {
             max_batch: 32,
             queue_capacity: 100_000,
             resident_weights: true,
+            accuracy_routing: false,
             horizon_s: 0.05,
             seed: 7,
             limits: DegradationLimits::default(),
@@ -1439,6 +1505,7 @@ mod tests {
                 scale_up_load: 0.8,
                 scale_down_load: 0.3,
                 p99_guard_frac: 0.7,
+                accuracy_guard: 0.85,
                 cooldown_windows: 3,
             },
             config: ControlConfig {
@@ -1456,6 +1523,60 @@ mod tests {
             assert_eq!(p.build().name(), kind);
         }
         assert!(PolicySpec::from_kind("nope").is_none());
+    }
+
+    #[test]
+    fn accuracy_slos_round_trip_and_compile() {
+        let mut spec = demo_spec();
+        spec.accuracy_routing = true;
+        spec.classes[0].min_accuracy = 0.85;
+        spec.control = Some(ControlSpec {
+            policy: PolicySpec::Predictive {
+                alpha: 0.4,
+                beta: 0.2,
+                target_util: 0.6,
+                p99_guard_frac: 0.7,
+                accuracy_guard: 0.8,
+            },
+            config: ControlConfig::default(),
+        });
+        let rendered = spec.render();
+        assert!(rendered.contains("\"min_accuracy\""));
+        assert!(rendered.contains("\"accuracy_routing\": true"));
+        assert!(rendered.contains("\"accuracy_guard\""));
+        let back = ScenarioSpec::parse(&rendered).unwrap();
+        assert_eq!(back, spec);
+        let compiled = spec.compile().unwrap();
+        assert!(compiled.scenario.accuracy_routing);
+        assert_eq!(compiled.scenario.classes[0].min_accuracy, 0.85);
+        assert_eq!(compiled.scenario.classes[1].min_accuracy, 0.0);
+        // a spec that omits the fields defaults them off
+        let bare = demo_spec();
+        assert!(!bare.compile().unwrap().scenario.accuracy_routing);
+    }
+
+    #[test]
+    fn out_of_range_min_accuracy_names_the_field() {
+        let mut spec = demo_spec();
+        spec.classes[1].min_accuracy = 1.5;
+        let err = spec.validate().unwrap_err().to_string();
+        assert!(
+            err.contains("min_accuracy") && err.contains("lenet5"),
+            "error must name the field and class: {err}"
+        );
+        let mut spec = demo_spec();
+        spec.control = Some(ControlSpec {
+            policy: PolicySpec::Reactive {
+                scale_up_load: 0.75,
+                scale_down_load: 0.35,
+                p99_guard_frac: 0.7,
+                accuracy_guard: -0.2,
+                cooldown_windows: 2,
+            },
+            config: ControlConfig::default(),
+        });
+        let err = spec.validate().unwrap_err().to_string();
+        assert!(err.contains("accuracy_guard"), "got: {err}");
     }
 
     #[test]
@@ -1577,6 +1698,31 @@ mod tests {
                         network: "lenet5".to_owned(),
                         slo_s: 0.0,
                         weight: 1.0,
+                        min_accuracy: 0.0,
+                    }],
+                    ..ok.clone()
+                },
+            ),
+            (
+                "min_accuracy above 1",
+                ScenarioSpec {
+                    classes: vec![ClassSpec {
+                        network: "lenet5".to_owned(),
+                        slo_s: 0.001,
+                        weight: 1.0,
+                        min_accuracy: 1.5,
+                    }],
+                    ..ok.clone()
+                },
+            ),
+            (
+                "negative min_accuracy",
+                ScenarioSpec {
+                    classes: vec![ClassSpec {
+                        network: "lenet5".to_owned(),
+                        slo_s: 0.001,
+                        weight: 1.0,
+                        min_accuracy: -0.1,
                     }],
                     ..ok.clone()
                 },

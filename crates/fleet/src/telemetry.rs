@@ -49,6 +49,10 @@ pub const NO_CLASS: u32 = u32::MAX;
 /// Sentinel instance id for events that happen before dispatch
 /// (arrive, enqueue, refuse, shed).
 pub const NO_INSTANCE: u32 = u32::MAX;
+/// Sentinel accuracy for events with no quoted accuracy attached
+/// (anything but dispatch/complete). Negative, so it can never collide
+/// with a real top-1 in `[0, 1]`; rendered as `null`.
+pub const NO_ACCURACY: f64 = -1.0;
 
 /// The lifecycle moments the engine can record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -122,6 +126,10 @@ pub struct TraceEvent {
     pub class: u32,
     /// Global instance index, or [`NO_INSTANCE`].
     pub instance: u32,
+    /// Quoted top-1 accuracy of the serving instance at dispatch /
+    /// completion, or [`NO_ACCURACY`] for events that carry none.
+    #[serde(default)]
+    pub accuracy: f64,
 }
 
 impl TraceEvent {
@@ -132,7 +140,7 @@ impl TraceEvent {
     pub fn render_json(&self) -> String {
         format!(
             "{{\"type\":\"event\",\"cell\":{},\"seq\":{},\"t_s\":{},\"kind\":\"{}\",\
-             \"id\":{},\"class\":{},\"instance\":{}}}",
+             \"id\":{},\"class\":{},\"instance\":{},\"accuracy\":{}}}",
             self.cell,
             self.seq,
             self.t_s,
@@ -140,6 +148,7 @@ impl TraceEvent {
             json_opt_u64(self.id, NO_REQUEST),
             json_opt_u32(self.class, NO_CLASS),
             json_opt_u32(self.instance, NO_INSTANCE),
+            json_opt_accuracy(self.accuracy),
         )
     }
 }
@@ -154,6 +163,14 @@ fn json_opt_u64(v: u64, sentinel: u64) -> String {
 
 fn json_opt_u32(v: u32, sentinel: u32) -> String {
     if v == sentinel {
+        "null".to_owned()
+    } else {
+        v.to_string()
+    }
+}
+
+fn json_opt_accuracy(v: f64) -> String {
+    if v < 0.0 {
         "null".to_owned()
     } else {
         v.to_string()
@@ -247,6 +264,22 @@ pub trait TraceSink {
     /// Records one lifecycle event. Use [`NO_REQUEST`] / [`NO_CLASS`] /
     /// [`NO_INSTANCE`] for fields that do not apply.
     fn event(&mut self, kind: TraceEventKind, t_s: f64, id: u64, class: usize, instance: usize);
+
+    /// Records one lifecycle event that carries the serving instance's
+    /// quoted top-1 accuracy (dispatch and complete). Default drops the
+    /// accuracy and forwards to [`TraceSink::event`], so sinks that do
+    /// not care never have to change.
+    fn event_with_accuracy(
+        &mut self,
+        kind: TraceEventKind,
+        t_s: f64,
+        id: u64,
+        class: usize,
+        instance: usize,
+        _accuracy: f64,
+    ) {
+        self.event(kind, t_s, id, class, instance);
+    }
 
     /// Adds `n` to the counter for `op`.
     fn count(&mut self, op: ProfileOp, n: u64);
@@ -372,6 +405,18 @@ impl TraceSink for TracingSink {
     }
 
     fn event(&mut self, kind: TraceEventKind, t_s: f64, id: u64, class: usize, instance: usize) {
+        self.event_with_accuracy(kind, t_s, id, class, instance, NO_ACCURACY);
+    }
+
+    fn event_with_accuracy(
+        &mut self,
+        kind: TraceEventKind,
+        t_s: f64,
+        id: u64,
+        class: usize,
+        instance: usize,
+        accuracy: f64,
+    ) {
         self.events.push(TraceEvent {
             cell: self.cell,
             seq: self.seq,
@@ -388,6 +433,7 @@ impl TraceSink for TracingSink {
             } else {
                 instance as u32
             },
+            accuracy,
         });
         self.seq += 1;
         self.profile.events_recorded += 1;

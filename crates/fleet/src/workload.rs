@@ -25,6 +25,18 @@ pub struct NetworkClass {
     pub slo_s: f64,
     /// Relative traffic weight within the mix (need not be normalized).
     pub weight: f64,
+    /// Accuracy SLO: minimum quoted top-1 accuracy this class accepts,
+    /// in `[0, 1]`. `0.0` (the default) disables the floor — latency is
+    /// then the only service dimension, which is the pre-accuracy
+    /// contract. The floor is compared against the engine's quoted
+    /// [`AccuracyQuote::top1_accuracy`] per instance; see
+    /// [`FleetScenario::accuracy_routing`] for how violations are
+    /// handled.
+    ///
+    /// [`AccuracyQuote::top1_accuracy`]: pcnna_core::serving::AccuracyQuote
+    /// [`FleetScenario::accuracy_routing`]: crate::engine::FleetScenario::accuracy_routing
+    #[serde(default)]
+    pub min_accuracy: f64,
 }
 
 impl NetworkClass {
@@ -41,6 +53,7 @@ impl NetworkClass {
             layers: layers.iter().map(|(n, g)| ((*n).to_owned(), *g)).collect(),
             slo_s,
             weight,
+            min_accuracy: 0.0,
         }
     }
 
@@ -55,7 +68,15 @@ impl NetworkClass {
                 .collect(),
             slo_s,
             weight,
+            min_accuracy: 0.0,
         }
+    }
+
+    /// Sets the class's accuracy SLO (builder form).
+    #[must_use]
+    pub fn with_min_accuracy(mut self, min_accuracy: f64) -> Self {
+        self.min_accuracy = min_accuracy;
+        self
     }
 
     /// The paper's AlexNet conv stack.
@@ -76,7 +97,8 @@ impl NetworkClass {
         NetworkClass::new("vgg16", &zoo::vgg16_conv_layers(), slo_s, weight)
     }
 
-    /// Layers in the borrowed form `pcnna_core::serving::quote` expects.
+    /// Layers in the borrowed form a `pcnna_core::serving::QuoteRequest`
+    /// expects.
     #[must_use]
     pub fn layer_refs(&self) -> Vec<(&str, ConvGeometry)> {
         self.layers.iter().map(|(n, g)| (n.as_str(), *g)).collect()

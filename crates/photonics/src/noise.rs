@@ -5,7 +5,55 @@
 //! floor. This module turns the variances reported by the device models
 //! into the two numbers architects actually compare: SNR (dB) and ENOB.
 
+use crate::degradation::HealthState;
 use serde::{Deserialize, Serialize};
+
+/// Ring detuning per kelvin of uncompensated ambient drift, in ring
+/// half-linewidths: the ~75 pm/K silicon thermo-optic walk-off over the
+/// ~15 pm half-linewidth of the default ring (see [`thermal`] and
+/// [`microring`]). One kelvin of drift past the lock point pushes a
+/// resonance five HWHM off its carrier.
+///
+/// [`thermal`]: crate::thermal
+/// [`microring`]: crate::microring
+pub const RING_DETUNE_HWHM_PER_K: f64 = 5.0;
+
+/// Fractional crosstalk noise added per dead converter channel when its
+/// traffic is remapped onto the surviving neighbours (denser wavelength
+/// reuse on the remaining rings).
+pub const DEAD_CHANNEL_CROSSTALK: f64 = 0.12;
+
+/// The electrical SNR penalty (dB, ≤ 0) a degraded [`HealthState`]
+/// costs the analog readout, relative to nominal hardware:
+///
+/// * **Laser aging** scales the optical carrier power by
+///   `laser_power_factor`; photocurrent is linear in optical power, so
+///   electrical signal power — and SNR against a fixed receiver noise
+///   floor — falls as the square: `20·log10(factor)`. The −3 dB optical
+///   floor of the default [`DegradationLimits`] is the −6 dB electrical
+///   margin its docs quote.
+/// * **Thermal drift** detunes every ring off its carrier by
+///   [`RING_DETUNE_HWHM_PER_K`] half-linewidths per kelvin; the
+///   Lorentzian transmission `1/(1 + d²)` attenuates the signal power,
+///   costing `20·log10(1 + d²)` electrically.
+/// * **Dead converter channels** force wavelength reuse on the
+///   survivors, adding [`DEAD_CHANNEL_CROSSTALK`] of crosstalk variance
+///   per lost channel: `10·log10(1 + x·dead)`.
+///
+/// Monotone non-increasing in every degradation axis, and exactly 0 dB
+/// at [`HealthState::nominal`] — the invariants the accuracy-quote
+/// property tests pin.
+///
+/// [`DegradationLimits`]: crate::degradation::DegradationLimits
+#[must_use]
+pub fn health_snr_penalty_db(health: &HealthState) -> f64 {
+    let laser_db = 20.0 * health.laser_power_factor.max(1e-9).log10();
+    let detune = RING_DETUNE_HWHM_PER_K * health.ambient_delta_k.abs();
+    let detune_db = -20.0 * (1.0 + detune * detune).log10();
+    let dead = (health.dead_input_channels + health.dead_output_channels) as f64;
+    let crosstalk_db = -10.0 * (1.0 + DEAD_CHANNEL_CROSSTALK * dead).log10();
+    laser_db + detune_db + crosstalk_db
+}
 
 /// An additive noise budget: named variance contributions against a signal.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -120,6 +168,72 @@ mod tests {
         let snr_linear = 10f64.powf(98.08 / 10.0);
         let enob = snr_to_enob(snr_linear);
         assert!((enob - 16.0).abs() < 0.01, "enob {enob}");
+    }
+
+    #[test]
+    fn nominal_health_costs_nothing() {
+        assert_eq!(health_snr_penalty_db(&HealthState::nominal()), 0.0);
+    }
+
+    #[test]
+    fn laser_floor_is_six_electrical_db() {
+        // −3 dB optical (factor 0.5) ≈ −6 dB electrical, the margin the
+        // DegradationLimits docs quote.
+        let h = HealthState {
+            laser_power_factor: 0.5,
+            ..HealthState::nominal()
+        };
+        let db = health_snr_penalty_db(&h);
+        assert!((db + 6.02).abs() < 0.01, "penalty {db}");
+    }
+
+    #[test]
+    fn penalty_is_monotone_per_axis() {
+        let base = HealthState::nominal();
+        let mut prev = health_snr_penalty_db(&base);
+        for i in 1..=10 {
+            let h = HealthState {
+                ambient_delta_k: 0.1 * f64::from(i),
+                ..base
+            };
+            let db = health_snr_penalty_db(&h);
+            assert!(db < prev, "drift axis not monotone at step {i}");
+            prev = db;
+        }
+        prev = health_snr_penalty_db(&base);
+        for i in 1..=9 {
+            let h = HealthState {
+                laser_power_factor: 1.0 - 0.1 * f64::from(i),
+                ..base
+            };
+            let db = health_snr_penalty_db(&h);
+            assert!(db < prev, "laser axis not monotone at step {i}");
+            prev = db;
+        }
+        prev = health_snr_penalty_db(&base);
+        for i in 1..=8usize {
+            let h = HealthState {
+                dead_input_channels: i,
+                dead_output_channels: i / 2,
+                ..base
+            };
+            let db = health_snr_penalty_db(&h);
+            assert!(db < prev, "dead-channel axis not monotone at step {i}");
+            prev = db;
+        }
+    }
+
+    #[test]
+    fn drift_is_sign_symmetric() {
+        let warm = HealthState {
+            ambient_delta_k: 0.7,
+            ..HealthState::nominal()
+        };
+        let cold = HealthState {
+            ambient_delta_k: -0.7,
+            ..HealthState::nominal()
+        };
+        assert_eq!(health_snr_penalty_db(&warm), health_snr_penalty_db(&cold));
     }
 
     #[test]

@@ -35,7 +35,7 @@
 //! + refund, recalibrate ⇒ drain/offline/re-lock).
 
 use super::shard::CellSpec;
-use super::wheel::{EventTime, TimingWheel};
+use super::wheel::{EventTime, TimingWheel, WheelEvent};
 use super::{FleetScenario, QuoteTable};
 use crate::faults::{FaultAction, FaultEvent};
 use crate::metrics::{LatencyHistogram, ResilienceStats};
@@ -148,6 +148,32 @@ impl InflightArena {
     }
 }
 
+/// Sentinel for "no in-flight batch" in the flat `busy` array (the
+/// arena hands out dense handles from zero, so the max is never a real
+/// handle).
+const NO_BATCH: u32 = u32::MAX;
+
+/// Sentinel for "no network's weights resident" in the flat `loaded`
+/// array.
+const NO_CLASS: u32 = u32::MAX;
+
+/// In service: may take new work (cleared while failed, draining,
+/// recalibrating, parked, or booting).
+const F_UP: u8 = 1 << 0;
+/// Mid-recalibration, restore event pending.
+const F_RECAL: u8 = 1 << 1;
+/// Draining toward a deferred recalibration (`drain_s` holds the
+/// window length).
+const F_DRAINING: u8 = 1 << 2;
+/// Administratively powered off by the control plane.
+const F_PARKED: u8 = 1 << 3;
+/// Busy when a park was requested: parks at completion.
+const F_PARK_PENDING: u8 = 1 << 4;
+/// Powering back on, restore event pending.
+const F_BOOTING: u8 = 1 << 5;
+/// Inside an open offline interval (`offline_from_s` holds its start).
+const F_OFFLINE: u8 = 1 << 6;
+
 /// One (instance, class) quote flattened to `f64` seconds/joules — the
 /// form the dispatch inner loop consumes. Converting `SimTime` per
 /// `service_seconds` call showed up in profiles; this is computed once
@@ -242,47 +268,78 @@ pub(crate) struct CellEngine<'a, S: TraceSink = NullSink> {
     /// local indices, with its cursor.
     faults: Vec<FaultEvent>,
     fault_idx: usize,
-    // flattened local `instances × classes` quote table (row-major)
-    quotes_f: Vec<QuoteF>,
+    // --- struct-of-arrays instance state -----------------------------
+    //
+    // Every per-instance record is a flat parallel array of primitives:
+    // the dispatch scans walk `eligible_bits` (a bitset whose set bits
+    // are exactly the up-and-idle instances, in index order) and read
+    // the other arrays by index — no `Option` discriminants, no
+    // struct-of-structs padding, and the saturated case touches
+    // `n/64` words instead of `n` records.
+    //
+    /// Deduplicated quote rows, row-major `row × local classes`. Rows
+    /// `0..n_shared_rows` are shared between instances (one per distinct
+    /// config); a requote gives the instance a private row past that
+    /// bound (copy-on-write), so a homogeneous fleet stores one row
+    /// however many instances it has.
+    quote_rows: Vec<QuoteF>,
+    /// Serviceability per (row, local class), parallel to `quote_rows`.
+    serviceable_rows: Vec<bool>,
+    /// Each instance's quote-row index.
+    quote_row: Vec<u32>,
+    /// Rows below this index are shared; at or past it, private to the
+    /// one instance whose `quote_row` points there.
+    n_shared_rows: u32,
     queues: ClassQueues,
-    // instance state: handle of the in-flight batch, if any
-    busy: Vec<Option<u32>>,
+    /// Handle of the in-flight batch, or [`NO_BATCH`].
+    busy: Vec<u32>,
     inflight: InflightArena,
-    // which class's MRR weights each instance currently holds
-    loaded: Vec<Option<usize>>,
+    /// Local class whose MRR weights the instance holds, or [`NO_CLASS`].
+    loaded: Vec<u32>,
     busy_time_s: Vec<f64>,
-    /// Count of instances that are up with no batch in flight — the
-    /// dispatch fast path: when zero (a saturated or fully offline
-    /// cell), arrivals skip the placement scan entirely, which is what
-    /// keeps large fleets from paying O(instances) per arrival.
+    /// Bitset over instances: bit set ⇔ up with no batch in flight.
+    /// The dispatch scans iterate its set bits in index order — the
+    /// branch-light linear pass that replaced the O(instances)
+    /// filter-scan of the struct-of-structs engine.
+    eligible_bits: Vec<u64>,
+    /// Count of set bits in `eligible_bits` — the dispatch fast path:
+    /// when zero (a saturated or fully offline cell), arrivals skip the
+    /// placement scan entirely, which is what keeps large fleets from
+    /// paying O(instances) per arrival.
     eligible_count: usize,
+    /// Per-class eligibility bitsets, `n_classes` runs of
+    /// `eligible_bits.len()` words each: bit `i` of run `c` is set ⇔
+    /// instance `i` is eligible **and** holds class `c`'s weights.
+    /// Maintained alongside `eligible_bits` so the homogeneous-cell
+    /// dispatch fast path can answer "first/deepest loaded match" in
+    /// O(words) instead of walking every eligible instance.
+    class_bits: Vec<u64>,
+    /// Whether every instance still shares one quote row (identical
+    /// configs, no requotes yet). While true, dispatch uses the O(words)
+    /// bitset fast paths; the first requote (health divergence) clears
+    /// it and the scans fall back to the general per-instance walk.
+    homogeneous: bool,
     /// Completion events, epoch-cancellable.
     completions: TimingWheel,
     /// Recalibration-restore events, epoch-cancellable.
     control: TimingWheel,
-    // --- degradation / failover state ---
+    /// Reusable buffer for same-instant completion cohorts popped off
+    /// the wheel in one batch.
+    batch_buf: Vec<WheelEvent>,
+    // --- degradation / failover / control-plane state (SoA) ---
     health: Vec<HealthState>,
-    up: Vec<bool>,
-    draining: Vec<Option<f64>>,
-    recal_pending: Vec<bool>,
+    /// Per-instance lifecycle flags (`F_*` bits).
+    flags: Vec<u8>,
+    /// Recalibration window length for a draining instance (valid while
+    /// `F_DRAINING` is set).
+    drain_s: Vec<f64>,
     recal_until: Vec<f64>,
     control_epoch: Vec<u32>,
-    offline_from: Vec<Option<f64>>,
+    /// Start of the open offline interval (valid while `F_OFFLINE`).
+    offline_from_s: Vec<f64>,
     offline_s: f64,
     epoch: Vec<u32>,
-    serviceable: Vec<bool>,
     rank_buf: Vec<usize>,
-    // --- control-plane (autoscaling) state ---
-    /// Administratively powered off by the control plane. Parked time is
-    /// *not* offline time: availability measures faults, not elasticity.
-    parked: Vec<bool>,
-    /// Busy when a park was requested: drains its in-flight batch, then
-    /// parks at completion instead of re-admitting work.
-    park_pending: Vec<bool>,
-    /// Powering back on: boot + ring-lock/calibration in progress, with
-    /// a restore event pending on the control wheel (epoch-cancellable,
-    /// like a recalibration restore).
-    booting: Vec<bool>,
     shed_per_class: Vec<u64>,
     res: ResilienceStats,
     // accounting
@@ -329,15 +386,25 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
         for (local, &global) in spec.classes.iter().enumerate() {
             class_local[global] = local;
         }
-        let quotes_f: Vec<QuoteF> = spec
-            .instances
-            .clone()
-            .flat_map(|i| {
-                spec.classes
-                    .iter()
-                    .map(move |&c| QuoteF::from_quote(quotes.get(i, c)))
-            })
-            .collect();
+        // Copy only the distinct quote rows this cell's instances use
+        // (restricted to the cell's classes), and point every instance
+        // at its shared row — the struct-of-arrays mirror of the
+        // deduplicated [`QuoteTable`].
+        let mut table_to_cell_row: Vec<u32> = vec![u32::MAX; quotes.n_rows()];
+        let mut quote_rows: Vec<QuoteF> = Vec::new();
+        let mut quote_row: Vec<u32> = Vec::with_capacity(n_instances);
+        for i in spec.instances.clone() {
+            let tr = quotes.row_index(i);
+            if table_to_cell_row[tr] == u32::MAX {
+                table_to_cell_row[tr] =
+                    u32::try_from(quote_rows.len() / n_classes.max(1)).expect("row count fits u32");
+                let row = quotes.row(tr);
+                quote_rows.extend(spec.classes.iter().map(|&c| QuoteF::from_quote(row[c])));
+            }
+            quote_row.push(table_to_cell_row[tr]);
+        }
+        let n_shared_rows =
+            u32::try_from(quote_rows.len() / n_classes.max(1)).expect("row count fits u32");
         let min_accuracy: Vec<f64> = spec
             .classes
             .iter()
@@ -347,15 +414,26 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
         // below its class floor is never served (an infeasible floor
         // leaves those requests unserved — refusing, not serving
         // garbage). Without routing every pair starts serviceable.
-        let serviceable: Vec<bool> = if scenario.accuracy_routing {
-            quotes_f
+        let serviceable_rows: Vec<bool> = if scenario.accuracy_routing {
+            quote_rows
                 .iter()
                 .enumerate()
-                .map(|(idx, q)| q.top1 >= min_accuracy[idx % n_classes])
+                .map(|(idx, q)| q.top1 >= min_accuracy[idx % n_classes.max(1)])
                 .collect()
         } else {
-            vec![true; n_instances * n_classes]
+            vec![true; quote_rows.len()]
         };
+        let words = n_instances.div_ceil(64);
+        let mut eligible_bits = vec![u64::MAX; words];
+        if let Some(last) = eligible_bits.last_mut() {
+            let tail = n_instances % 64;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
+            if n_instances == 0 {
+                *last = 0;
+            }
+        }
         CellEngine {
             scenario,
             classes: spec.classes.clone(),
@@ -369,15 +447,22 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
                 .events()
                 .to_vec(),
             fault_idx: 0,
-            quotes_f,
+            quote_rows,
+            serviceable_rows,
+            quote_row,
+            n_shared_rows,
             queues: ClassQueues::new(n_classes),
-            busy: (0..n_instances).map(|_| None).collect(),
+            busy: vec![NO_BATCH; n_instances],
             inflight: InflightArena::default(),
-            loaded: vec![None; n_instances],
+            loaded: vec![NO_CLASS; n_instances],
             busy_time_s: vec![0.0; n_instances],
+            eligible_bits,
             eligible_count: n_instances,
+            class_bits: vec![0; n_classes * words],
+            homogeneous: n_shared_rows <= 1,
             completions: TimingWheel::new(),
             control: TimingWheel::new(),
+            batch_buf: Vec::new(),
             offered: 0,
             admitted: 0,
             rejected: 0,
@@ -394,22 +479,63 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
             below_accuracy_per_class: vec![0; n_classes],
             min_accuracy,
             health: vec![HealthState::nominal(); n_instances],
-            up: vec![true; n_instances],
-            draining: vec![None; n_instances],
-            recal_pending: vec![false; n_instances],
+            flags: vec![F_UP; n_instances],
+            drain_s: vec![0.0; n_instances],
             recal_until: vec![0.0; n_instances],
             control_epoch: vec![0; n_instances],
-            offline_from: vec![None; n_instances],
+            offline_from_s: vec![0.0; n_instances],
             offline_s: 0.0,
             epoch: vec![0; n_instances],
-            serviceable,
             rank_buf: Vec::new(),
-            parked: vec![false; n_instances],
-            park_pending: vec![false; n_instances],
-            booting: vec![false; n_instances],
             shed_per_class: vec![0; n_classes],
             res: ResilienceStats::default(),
             sink,
+        }
+    }
+
+    /// Whether `flag` is set on `instance`.
+    #[inline]
+    fn flag(&self, instance: usize, flag: u8) -> bool {
+        self.flags[instance] & flag != 0
+    }
+
+    /// Sets `flag` on `instance`.
+    #[inline]
+    fn set_flag(&mut self, instance: usize, flag: u8) {
+        self.flags[instance] |= flag;
+    }
+
+    /// Clears `flag` on `instance`.
+    #[inline]
+    fn clear_flag(&mut self, instance: usize, flag: u8) {
+        self.flags[instance] &= !flag;
+    }
+
+    /// Re-derives `instance`'s bit in the eligibility bitset (and the
+    /// popcount) from its current `up`/`busy` state. Every lifecycle
+    /// transition routes through this — one invariant, one maintainer,
+    /// instead of hand-balanced `eligible_count` arithmetic at each
+    /// call site.
+    #[inline]
+    fn refresh_eligibility(&mut self, instance: usize) {
+        let now = self.flag(instance, F_UP) && self.busy[instance] == NO_BATCH;
+        let word = instance >> 6;
+        let bit = 1u64 << (instance & 63);
+        let was = self.eligible_bits[word] & bit != 0;
+        if now != was {
+            self.eligible_bits[word] ^= bit;
+            if now {
+                self.eligible_count += 1;
+            } else {
+                self.eligible_count -= 1;
+            }
+            // Mirror the flip into the loaded class's run. Call sites
+            // that change `loaded` do so only while the instance is
+            // ineligible (bit clear), so the mirror stays exact.
+            let c = self.loaded[instance];
+            if c != NO_CLASS {
+                self.class_bits[c as usize * self.eligible_bits.len() + word] ^= bit;
+            }
         }
     }
 
@@ -419,10 +545,43 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
     /// finished work lands before state changes and new capacity is
     /// visible before the arrival the caller is about to admit.
     ///
+    /// Completions are drained in same-instant cohorts
+    /// ([`TimingWheel::pop_front_batch`]): every event at the front
+    /// timestamp surfaces in one wheel walk and is processed in exact
+    /// pop order. The cohort stays coherent while it is processed —
+    /// completion handlers never bump another instance's epoch (only
+    /// hard faults do, and the fault stream is consulted between
+    /// cohorts), and new events they schedule land strictly later than
+    /// the cohort's instant (service times are positive).
+    ///
     /// Events orphaned by a hard failure (their epoch token no longer
     /// matches) are skipped when they surface at a wheel front.
     pub(crate) fn advance_through(&mut self, limit: f64) {
         loop {
+            // Steady-state fast path: no restore pending and the fault
+            // timeline drained — completions are the only stream, so
+            // skip the three-way merge. Re-checked each cohort because
+            // a completion can start a deferred recalibration (a drain
+            // that outlives the last fault), re-arming the control
+            // wheel.
+            if self.control.is_empty() && self.fault_idx >= self.faults.len() {
+                let Some(t) = self.completions.peek().map(|e| e.at.get()) else {
+                    break;
+                };
+                if !(t <= limit) {
+                    break;
+                }
+                let mut batch = std::mem::take(&mut self.batch_buf);
+                batch.clear();
+                self.completions.pop_front_batch(&mut batch);
+                for ev in &batch {
+                    if ev.epoch == self.epoch[ev.instance as usize] {
+                        self.on_completion(ev.instance as usize, ev.at.get());
+                    }
+                }
+                self.batch_buf = batch;
+                continue;
+            }
             let tc = self.completions.peek().map(|e| e.at.get());
             let tr = self.control.peek().map(|e| e.at.get());
             let tf = self.faults.get(self.fault_idx).map(|e| e.at_s);
@@ -439,11 +598,16 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
             }
             match which {
                 0 => {
-                    let ev = self.completions.pop().expect("peeked");
-                    if ev.epoch == self.epoch[ev.instance as usize] {
-                        self.on_completion(ev.instance as usize, ev.at.get());
+                    let mut batch = std::mem::take(&mut self.batch_buf);
+                    batch.clear();
+                    self.completions.pop_front_batch(&mut batch);
+                    for ev in &batch {
+                        if ev.epoch == self.epoch[ev.instance as usize] {
+                            self.on_completion(ev.instance as usize, ev.at.get());
+                        }
+                        // stale: the batch was aborted and failed over — skip
                     }
-                    // stale: the batch was aborted and failed over — skip
+                    self.batch_buf = batch;
                 }
                 1 => {
                     let ev = self.control.pop().expect("peeked");
@@ -551,29 +715,30 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
     /// does not count against availability. Returns whether the park was
     /// accepted.
     pub(crate) fn park_instance(&mut self, instance: usize, now: f64) -> bool {
-        if self.parked[instance] || self.park_pending[instance] {
+        if self.flag(instance, F_PARKED | F_PARK_PENDING) {
             return true; // already parked or on its way
         }
-        if self.booting[instance] {
+        if self.flag(instance, F_BOOTING) {
             // scale-down abort: orphan the scheduled boot restore
             self.control_epoch[instance] = self.control_epoch[instance].wrapping_add(1);
-            self.booting[instance] = false;
-            self.parked[instance] = true;
+            self.clear_flag(instance, F_BOOTING);
+            self.set_flag(instance, F_PARKED);
             self.trace_instance(TraceEventKind::Park, now, instance);
             return true;
         }
-        if self.busy[instance].is_some() && self.up[instance] {
+        if self.busy[instance] != NO_BATCH && self.flag(instance, F_UP) {
             // drain: the in-flight batch finishes, then the park lands
             // (the Park trace event fires when it does)
-            self.up[instance] = false;
-            self.park_pending[instance] = true;
+            self.clear_flag(instance, F_UP);
+            self.set_flag(instance, F_PARK_PENDING);
+            self.refresh_eligibility(instance);
             return true;
         }
-        if self.up[instance] {
-            self.up[instance] = false;
-            self.eligible_count -= 1;
-            self.loaded[instance] = None;
-            self.parked[instance] = true;
+        if self.flag(instance, F_UP) {
+            self.clear_flag(instance, F_UP);
+            self.set_flag(instance, F_PARKED);
+            self.refresh_eligibility(instance);
+            self.loaded[instance] = NO_CLASS;
             self.trace_instance(TraceEventKind::Park, now, instance);
             return true;
         }
@@ -587,11 +752,11 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
     /// and cold weight banks on re-entry. Returns whether a boot was
     /// started (only parked instances can boot).
     pub(crate) fn unpark_instance(&mut self, instance: usize, t: f64, ready_s: f64) -> bool {
-        if !self.parked[instance] {
+        if !self.flag(instance, F_PARKED) {
             return false;
         }
-        self.parked[instance] = false;
-        self.booting[instance] = true;
+        self.clear_flag(instance, F_PARKED);
+        self.set_flag(instance, F_BOOTING);
         self.trace_instance(TraceEventKind::Boot, t, instance);
         let at =
             EventTime::try_new(t + ready_s).expect("boot time must be finite and non-negative");
@@ -623,22 +788,22 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
 
     /// In service or serving: counts toward provisioned capacity.
     pub(crate) fn is_active(&self, instance: usize) -> bool {
-        self.up[instance] || self.busy[instance].is_some()
+        self.flag(instance, F_UP) || self.busy[instance] != NO_BATCH
     }
 
     /// Up with no batch in flight — the cheapest instance to park.
     pub(crate) fn is_idle(&self, instance: usize) -> bool {
-        self.up[instance] && self.busy[instance].is_none()
+        self.flag(instance, F_UP) && self.busy[instance] == NO_BATCH
     }
 
     /// Powered off by the control plane.
     pub(crate) fn is_parked(&self, instance: usize) -> bool {
-        self.parked[instance]
+        self.flag(instance, F_PARKED)
     }
 
     /// Mid power-on (boot + re-lock pending).
     pub(crate) fn is_booting(&self, instance: usize) -> bool {
-        self.booting[instance]
+        self.flag(instance, F_BOOTING)
     }
 
     /// Total queued requests.
@@ -675,13 +840,13 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
     pub(crate) fn worst_quoted_accuracy(&self) -> f64 {
         let mut worst = 1.0f64;
         for i in 0..self.busy.len() {
-            if !(self.up[i] || self.busy[i].is_some()) {
+            if !self.is_active(i) {
                 continue;
             }
+            let row = self.quote_row[i] as usize * self.n_classes;
             for c in 0..self.n_classes {
-                let idx = i * self.n_classes + c;
-                if self.serviceable[idx] {
-                    worst = worst.min(self.quotes_f[idx].top1);
+                if self.serviceable_rows[row + c] {
+                    worst = worst.min(self.quote_rows[row + c].top1);
                 }
             }
         }
@@ -698,17 +863,17 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
             if self.health[i] != HealthState::nominal() {
                 mix.degraded += 1;
             }
-            if self.draining[i].is_some() || self.park_pending[i] {
+            if self.flag(i, F_DRAINING | F_PARK_PENDING) {
                 mix.draining += 1;
-            } else if self.busy[i].is_some() {
+            } else if self.busy[i] != NO_BATCH {
                 mix.serving += 1;
-            } else if self.up[i] {
+            } else if self.flag(i, F_UP) {
                 mix.idle += 1;
-            } else if self.booting[i] {
+            } else if self.flag(i, F_BOOTING) {
                 mix.booting += 1;
-            } else if self.parked[i] {
+            } else if self.flag(i, F_PARKED) {
                 mix.parked += 1;
-            } else if self.recal_pending[i] {
+            } else if self.flag(i, F_RECAL) {
                 mix.recalibrating += 1;
             } else {
                 mix.failed += 1;
@@ -738,8 +903,10 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
         // whatever capacity never came back leaves admitted-but-unserved
         // requests in the queues.)
         let makespan_s = self.last_event_s;
-        for t0 in self.offline_from.iter().flatten() {
-            self.offline_s += (makespan_s - t0).max(0.0);
+        for i in 0..self.flags.len() {
+            if self.flags[i] & F_OFFLINE != 0 {
+                self.offline_s += (makespan_s - self.offline_from_s[i]).max(0.0);
+            }
         }
         self.res.offline_s = self.offline_s;
         self.res.unserved = self.admitted - self.completed - self.res.shed;
@@ -787,7 +954,9 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
 
     /// Completion event: the batch on `instance` finished at `tc`.
     fn on_completion(&mut self, instance: usize, tc: f64) {
-        let handle = self.busy[instance].take().expect("completion on idle");
+        let handle = self.busy[instance];
+        debug_assert!(handle != NO_BATCH, "completion on idle");
+        self.busy[instance] = NO_BATCH;
         let class = self.inflight.class(handle);
         let (accuracy, below_accuracy) = self.inflight.accuracy(handle);
         for r in self.inflight.requests(handle) {
@@ -815,17 +984,19 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
         }
         self.inflight.release(handle);
         self.last_event_s = self.last_event_s.max(tc);
-        if let Some(duration_s) = self.draining[instance].take() {
+        if self.flag(instance, F_DRAINING) {
             // deferred recalibration: the drain just finished
+            self.clear_flag(instance, F_DRAINING);
+            let duration_s = self.drain_s[instance];
             self.start_recalibration(instance, tc, duration_s);
-        } else if self.park_pending[instance] {
+        } else if self.flag(instance, F_PARK_PENDING) {
             // deferred scale-down: the drain just finished, power off
-            self.park_pending[instance] = false;
-            self.parked[instance] = true;
-            self.loaded[instance] = None;
+            self.clear_flag(instance, F_PARK_PENDING);
+            self.set_flag(instance, F_PARKED);
+            self.loaded[instance] = NO_CLASS;
             self.trace_instance(TraceEventKind::Park, tc, instance);
-        } else if self.up[instance] {
-            self.eligible_count += 1;
+        } else {
+            self.refresh_eligibility(instance);
         }
         self.dispatch_idle(tc);
     }
@@ -835,26 +1006,26 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
     /// laser aging persist), weights must be reprogrammed, quotes are
     /// re-derived, and the instance re-admits work.
     fn on_restore(&mut self, instance: usize, tr: f64) {
-        self.recal_pending[instance] = false;
-        self.booting[instance] = false;
+        self.clear_flag(instance, F_RECAL | F_BOOTING);
         self.health[instance] = self.health[instance].recalibrated();
         self.requote(instance);
-        if let Some(t0) = self.offline_from[instance].take() {
-            self.offline_s += (tr - t0).max(0.0);
+        if self.flag(instance, F_OFFLINE) {
+            self.clear_flag(instance, F_OFFLINE);
+            self.offline_s += (tr - self.offline_from_s[instance]).max(0.0);
         }
         self.last_event_s = self.last_event_s.max(tr);
-        if self.park_pending[instance] {
+        if self.flag(instance, F_PARK_PENDING) {
             // the control plane asked for a park while the repair ran:
             // come back healthy, then power straight off
-            self.park_pending[instance] = false;
-            self.parked[instance] = true;
-            self.loaded[instance] = None;
+            self.clear_flag(instance, F_PARK_PENDING);
+            self.set_flag(instance, F_PARKED);
+            self.loaded[instance] = NO_CLASS;
             self.trace_instance(TraceEventKind::Park, tr, instance);
             return;
         }
-        self.up[instance] = true;
-        self.eligible_count += 1;
-        self.loaded[instance] = None;
+        self.set_flag(instance, F_UP);
+        self.refresh_eligibility(instance);
+        self.loaded[instance] = NO_CLASS;
         self.trace_instance(TraceEventKind::Readmit, tr, instance);
         self.dispatch_idle(tr);
     }
@@ -868,21 +1039,22 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
                 // for an instance that could serve right now — a parked or
                 // booting one requotes at its restore anyway.
                 self.health[instance] = health;
-                if !self.parked[instance] && !self.booting[instance] {
+                if !self.flag(instance, F_PARKED | F_BOOTING) {
                     self.requote(instance);
                 }
             }
             FaultAction::Fail => self.fail_instance(instance, t),
             FaultAction::Recalibrate { duration_s } => {
-                if self.parked[instance] || self.booting[instance] {
+                if self.flag(instance, F_PARKED | F_BOOTING) {
                     // powered off (or mid power-on, which already ends in
                     // a full re-lock): nothing to recalibrate
-                } else if self.recal_pending[instance] {
+                } else if self.flag(instance, F_RECAL) {
                     // already mid-recalibration; the running window stands
-                } else if self.busy[instance].is_some() {
+                } else if self.busy[instance] != NO_BATCH {
                     // drain: finish the in-flight batch, then recalibrate
-                    self.up[instance] = false;
-                    self.draining[instance] = Some(duration_s);
+                    self.clear_flag(instance, F_UP);
+                    self.set_flag(instance, F_DRAINING);
+                    self.drain_s[instance] = duration_s;
                 } else {
                     self.start_recalibration(instance, t, duration_s);
                 }
@@ -897,10 +1069,9 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
     fn fail_instance(&mut self, instance: usize, t: f64) {
         self.res.hard_failures += 1;
         self.trace_instance(TraceEventKind::Failover, t, instance);
-        if self.up[instance] && self.busy[instance].is_none() {
-            self.eligible_count -= 1;
-        }
-        if let Some(handle) = self.busy[instance].take() {
+        let handle = self.busy[instance];
+        if handle != NO_BATCH {
+            self.busy[instance] = NO_BATCH;
             // Invalidate the scheduled completion event.
             self.epoch[instance] = self.epoch[instance].wrapping_add(1);
             let class = self.inflight.class(handle);
@@ -940,8 +1111,8 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
         // wheel entry is discarded by the control-epoch check) and hand
         // the unelapsed window back from the recal-downtime ledger — it
         // is failure downtime now.
-        if self.recal_pending[instance] {
-            self.recal_pending[instance] = false;
+        if self.flag(instance, F_RECAL) {
+            self.clear_flag(instance, F_RECAL);
             self.control_epoch[instance] = self.control_epoch[instance].wrapping_add(1);
             self.res.recal_downtime_s -= (self.recal_until[instance] - t).max(0.0);
         }
@@ -949,17 +1120,16 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
         // in progress never finishes (cancel its restore event the same
         // way), and a parked or park-pending instance is simply failed —
         // the autoscaler sees it leave the parked pool.
-        if self.booting[instance] {
-            self.booting[instance] = false;
+        if self.flag(instance, F_BOOTING) {
+            self.clear_flag(instance, F_BOOTING);
             self.control_epoch[instance] = self.control_epoch[instance].wrapping_add(1);
         }
-        self.parked[instance] = false;
-        self.park_pending[instance] = false;
-        self.up[instance] = false;
-        self.draining[instance] = None;
-        self.loaded[instance] = None;
-        if self.offline_from[instance].is_none() {
-            self.offline_from[instance] = Some(t);
+        self.clear_flag(instance, F_PARKED | F_PARK_PENDING | F_UP | F_DRAINING);
+        self.refresh_eligibility(instance);
+        self.loaded[instance] = NO_CLASS;
+        if !self.flag(instance, F_OFFLINE) {
+            self.set_flag(instance, F_OFFLINE);
+            self.offline_from_s[instance] = t;
         }
     }
 
@@ -967,15 +1137,14 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
     /// a restore event is scheduled `duration_s` later.
     fn start_recalibration(&mut self, instance: usize, t: f64, duration_s: f64) {
         self.trace_instance(TraceEventKind::RecalDrain, t, instance);
-        if self.up[instance] && self.busy[instance].is_none() {
-            self.eligible_count -= 1;
-        }
-        self.up[instance] = false;
-        self.loaded[instance] = None;
-        self.recal_pending[instance] = true;
+        self.clear_flag(instance, F_UP);
+        self.refresh_eligibility(instance);
+        self.loaded[instance] = NO_CLASS;
+        self.set_flag(instance, F_RECAL);
         self.recal_until[instance] = t + duration_s;
-        if self.offline_from[instance].is_none() {
-            self.offline_from[instance] = Some(t);
+        if !self.flag(instance, F_OFFLINE) {
+            self.set_flag(instance, F_OFFLINE);
+            self.offline_from_s[instance] = t;
         }
         self.res.recalibrations += 1;
         self.res.recal_downtime_s += duration_s;
@@ -994,10 +1163,31 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
     /// below spec.
     fn requote(&mut self, instance: usize) {
         self.res.requotes += 1;
+        if self.n_classes == 0 {
+            return;
+        }
+        // Any requote can split this instance's quotes from its
+        // siblings': the uniform-cost assumption behind the bitset
+        // dispatch fast path no longer holds.
+        self.homogeneous = false;
+        // Copy-on-write: shared rows are deduplicated across instances
+        // with identical configs, so the first requote of an instance
+        // still pointing at a shared row moves it to a private row
+        // before overwriting. Later requotes reuse the private row.
+        if self.quote_row[instance] < self.n_shared_rows {
+            let new_row = (self.quote_rows.len() / self.n_classes) as u32;
+            let base = self.quote_row[instance] as usize * self.n_classes;
+            for c in 0..self.n_classes {
+                self.quote_rows.push(self.quote_rows[base + c]);
+                self.serviceable_rows.push(self.serviceable_rows[base + c]);
+            }
+            self.quote_row[instance] = new_row;
+        }
         let config = &self.scenario.instances[self.instance_start + instance];
+        let row = self.quote_row[instance] as usize * self.n_classes;
         for (c, &global) in self.classes.iter().enumerate() {
             let class = &self.scenario.classes[global];
-            let idx = instance * self.n_classes + c;
+            let idx = row + c;
             let layers = class.layer_refs();
             let request = QuoteRequest::new(config, &self.scenario.assumptions, &layers)
                 .with_health(self.health[instance])
@@ -1005,11 +1195,11 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
             match service_quote(&request) {
                 Ok(Some(dq)) => {
                     let q = QuoteF::from_quote(dq.quote);
-                    self.serviceable[idx] =
+                    self.serviceable_rows[idx] =
                         !self.scenario.accuracy_routing || q.top1 >= self.min_accuracy[c];
-                    self.quotes_f[idx] = q;
+                    self.quote_rows[idx] = q;
                 }
-                Ok(None) | Err(_) => self.serviceable[idx] = false,
+                Ok(None) | Err(_) => self.serviceable_rows[idx] = false,
             }
         }
     }
@@ -1018,13 +1208,13 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
     /// phase: only when the scenario grants whole-network residency AND
     /// the instance's banks already hold this class's weights.
     fn skips_reload(&self, instance: usize, class: usize) -> bool {
-        self.scenario.resident_weights && self.loaded[instance] == Some(class)
+        self.scenario.resident_weights && self.loaded[instance] == class as u32
     }
 
     /// Service time of a batch of `n` on `instance`, accounting for the
     /// weights it already holds.
     fn service_seconds(&self, instance: usize, class: usize, n: u64) -> f64 {
-        let q = &self.quotes_f[instance * self.n_classes + class];
+        let q = &self.quote_rows[self.quote_row[instance] as usize * self.n_classes + class];
         let reload = if self.skips_reload(instance, class) {
             0.0
         } else {
@@ -1035,7 +1225,7 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
 
     /// Energy of a batch of `n` on `instance` (reload-aware, like time).
     fn service_energy_j(&self, instance: usize, class: usize, n: u64) -> f64 {
-        let q = &self.quotes_f[instance * self.n_classes + class];
+        let q = &self.quote_rows[self.quote_row[instance] as usize * self.n_classes + class];
         let reload = if self.skips_reload(instance, class) {
             0.0
         } else {
@@ -1046,21 +1236,85 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
 
     /// Whether `instance` may take a new batch at all: in service and
     /// not already serving one. Failed, draining, and recalibrating
-    /// instances are all `up == false`.
+    /// instances all have `F_UP` cleared. Mirrors the `eligible_bits`
+    /// bitset, which the scans below walk instead of calling this.
     fn eligible(&self, instance: usize) -> bool {
-        self.up[instance] && self.busy[instance].is_none()
+        self.flags[instance] & F_UP != 0 && self.busy[instance] == NO_BATCH
     }
 
     /// The eligible instance that would complete a batch of `class`
-    /// earliest, if any can serve it at all.
+    /// earliest, if any can serve it at all. Walks the eligibility
+    /// bitset word-at-a-time, so a mostly-busy cell costs O(n/64).
+    /// Ties keep the lowest index (`<`, first minimum), matching
+    /// `Iterator::min_by` over an ascending scan.
     fn fastest_for(&self, class: usize) -> Option<usize> {
-        let n = (self.queues.class_len(class) as u64).min(self.scenario.max_batch);
-        (0..self.busy.len())
-            .filter(|&i| self.eligible(i) && self.serviceable[i * self.n_classes + class])
-            .min_by(|&a, &b| {
-                self.service_seconds(a, class, n)
-                    .total_cmp(&self.service_seconds(b, class, n))
-            })
+        if self.homogeneous {
+            let fast = self.fastest_for_uniform(class);
+            debug_assert_eq!(
+                fast,
+                self.fastest_for_scan(class),
+                "uniform-cell placement fast path diverged from the general scan"
+            );
+            return fast;
+        }
+        self.fastest_for_scan(class)
+    }
+
+    /// The general (heterogeneous) form of [`Self::fastest_for`]: walks
+    /// the eligibility bitset and prices every candidate.
+    fn fastest_for_scan(&self, class: usize) -> Option<usize> {
+        let n = (self.queues.class_len(class) as u64).min(self.scenario.max_batch) as f64;
+        let mut best: Option<usize> = None;
+        let mut best_s = f64::INFINITY;
+        for (w, &word) in self.eligible_bits.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let i = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let row = self.quote_row[i] as usize * self.n_classes + class;
+                if !self.serviceable_rows[row] {
+                    continue;
+                }
+                let q = &self.quote_rows[row];
+                let reload = if self.scenario.resident_weights && self.loaded[i] == class as u32 {
+                    0.0
+                } else {
+                    q.weight_load_s
+                };
+                let s = reload + q.per_frame_s * n;
+                if s < best_s {
+                    best_s = s;
+                    best = Some(i);
+                }
+            }
+        }
+        best
+    }
+
+    /// [`Self::fastest_for`] when every instance shares one quote row:
+    /// a batch's service time then takes at most two values — with or
+    /// without the weight reload. The first minimum is the first
+    /// eligible instance already holding `class`'s weights, or (when
+    /// none does, the reload is free, or residency is off) the first
+    /// eligible instance overall. O(words), no per-instance arithmetic.
+    fn fastest_for_uniform(&self, class: usize) -> Option<usize> {
+        if self.eligible_count == 0 || !self.serviceable_rows[class] {
+            return None;
+        }
+        if self.scenario.resident_weights && self.quote_rows[class].weight_load_s > 0.0 {
+            let words = self.eligible_bits.len();
+            let run = &self.class_bits[class * words..(class + 1) * words];
+            for (w, &word) in run.iter().enumerate() {
+                if word != 0 {
+                    return Some((w << 6) + word.trailing_zeros() as usize);
+                }
+            }
+        }
+        self.eligible_bits
+            .iter()
+            .enumerate()
+            .find(|&(_, &word)| word != 0)
+            .map(|(w, &word)| (w << 6) + word.trailing_zeros() as usize)
     }
 
     /// The policy's (class, instance) choice for the next dispatch.
@@ -1086,15 +1340,17 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
                 self.sink
                     .count(ProfileOp::DispatchScan, self.busy.len() as u64);
             }
-            let matched = (0..self.busy.len())
-                .filter(|&i| self.eligible(i))
-                .filter_map(|i| {
-                    let class = self.loaded[i]?;
-                    (self.queues.class_len(class) > 0
-                        && self.serviceable[i * self.n_classes + class])
-                        .then_some((class, i))
-                })
-                .max_by_key(|&(class, _)| self.queues.class_len(class));
+            let matched = if self.homogeneous {
+                let fast = self.deepest_loaded_match();
+                debug_assert_eq!(
+                    fast,
+                    self.deepest_loaded_match_scan(),
+                    "uniform-cell affinity fast path diverged from the general scan"
+                );
+                fast
+            } else {
+                self.deepest_loaded_match_scan()
+            };
             if let Some(choice) = matched {
                 return Some(choice);
             }
@@ -1132,6 +1388,76 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
         choice
     }
 
+    /// The affinity matched arm for the general (heterogeneous) cell:
+    /// deepest queued class whose weights an eligible instance already
+    /// holds. Bitset scan; `>=` keeps the deepest backlog seen last,
+    /// matching `Iterator::max_by_key` (last maximum) over an ascending
+    /// instance walk.
+    fn deepest_loaded_match_scan(&self) -> Option<(usize, usize)> {
+        let mut matched: Option<(usize, usize)> = None;
+        let mut matched_depth = 0usize;
+        for (w, &word) in self.eligible_bits.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let i = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let class = self.loaded[i];
+                if class == NO_CLASS {
+                    continue;
+                }
+                let class = class as usize;
+                let depth = self.queues.class_len(class);
+                if depth > 0
+                    && self.serviceable_rows[self.quote_row[i] as usize * self.n_classes + class]
+                    && depth >= matched_depth
+                {
+                    matched = Some((class, i));
+                    matched_depth = depth;
+                }
+            }
+        }
+        matched
+    }
+
+    /// [`Self::deepest_loaded_match_scan`] for the homogeneous cell:
+    /// serviceability is per class (one shared row), so the deepest
+    /// matchable depth comes from an O(classes × words) emptiness test
+    /// on the per-class bitsets, and the winner — the **highest**-index
+    /// eligible instance holding a deepest class, matching the general
+    /// arm's last-maximum tie rule — from the top set bit of their
+    /// union. No per-instance walk.
+    fn deepest_loaded_match(&self) -> Option<(usize, usize)> {
+        let words = self.eligible_bits.len();
+        let mut best_depth = 0usize;
+        for c in 0..self.n_classes {
+            let depth = self.queues.class_len(c);
+            if depth > best_depth
+                && self.serviceable_rows[c]
+                && self.class_bits[c * words..(c + 1) * words]
+                    .iter()
+                    .any(|&w| w != 0)
+            {
+                best_depth = depth;
+            }
+        }
+        if best_depth == 0 {
+            return None;
+        }
+        for w in (0..words).rev() {
+            let mut union = 0u64;
+            for c in 0..self.n_classes {
+                if self.serviceable_rows[c] && self.queues.class_len(c) == best_depth {
+                    union |= self.class_bits[c * words + w];
+                }
+            }
+            if union != 0 {
+                let i = (w << 6) + 63 - union.leading_zeros() as usize;
+                return Some((self.loaded[i] as usize, i));
+            }
+        }
+        None
+    }
+
     /// Keeps dispatching while work is queued and instances are idle.
     /// The `eligible_count` guard is the saturation fast path: a busy
     /// (or dead) cell pays nothing per arrival beyond the queue push.
@@ -1145,7 +1471,7 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
                 "dispatch routed a batch to a busy, drained, or offline instance"
             );
             debug_assert!(
-                self.serviceable[instance * self.n_classes + class],
+                self.serviceable_rows[self.quote_row[instance] as usize * self.n_classes + class],
                 "dispatch routed a batch to an instance that cannot serve its class"
             );
             let handle = self.inflight.acquire(class);
@@ -1158,7 +1484,8 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
             let service_s = self.service_seconds(instance, class, n);
             let done = now + service_s;
             let energy_j = self.service_energy_j(instance, class, n);
-            let accuracy = self.quotes_f[instance * self.n_classes + class].top1;
+            let accuracy =
+                self.quote_rows[self.quote_row[instance] as usize * self.n_classes + class].top1;
             let below_accuracy = accuracy < self.min_accuracy[class];
             self.inflight
                 .note_dispatch(handle, now, done, energy_j, accuracy, below_accuracy);
@@ -1185,9 +1512,9 @@ impl<'a, S: TraceSink> CellEngine<'a, S> {
             if !self.skips_reload(instance, class) {
                 self.weight_reloads += 1;
             }
-            self.busy[instance] = Some(handle);
-            self.eligible_count -= 1;
-            self.loaded[instance] = Some(class);
+            self.busy[instance] = handle;
+            self.refresh_eligibility(instance);
+            self.loaded[instance] = class as u32;
             let at =
                 EventTime::try_new(done).expect("completion time must be finite and non-negative");
             self.completions

@@ -51,7 +51,7 @@ pub(crate) mod merge;
 pub mod shard;
 pub mod wheel;
 
-pub use shard::ShardPlan;
+pub use shard::{PlanShape, ShardPlan};
 pub use wheel::{EventTime, TimingWheel};
 
 use crate::faults::FaultTimeline;
@@ -215,14 +215,14 @@ impl FleetScenario {
     ///
     /// Propagates config/resource failures from the core models.
     pub fn quote_table(&self) -> Result<QuoteTable> {
-        let mut per_instance: Vec<Vec<ServiceQuote>> = Vec::with_capacity(self.instances.len());
+        let mut rows: Vec<Vec<ServiceQuote>> = Vec::new();
+        let mut row_of: Vec<u32> = Vec::with_capacity(self.instances.len());
         // First-seen index per distinct config. Linear scan: real fleets
         // carry a handful of config variants, so this stays O(instances).
         let mut distinct: Vec<usize> = Vec::new();
         for (i, config) in self.instances.iter().enumerate() {
-            if let Some(&j) = distinct.iter().find(|&&j| self.instances[j] == *config) {
-                let row = per_instance[j].clone();
-                per_instance.push(row);
+            if let Some(pos) = distinct.iter().position(|&j| self.instances[j] == *config) {
+                row_of.push(pos as u32);
             } else {
                 config.validate()?;
                 let mut row = Vec::with_capacity(self.classes.len());
@@ -235,11 +235,12 @@ impl FleetScenario {
                             .quote,
                     );
                 }
+                row_of.push(distinct.len() as u32);
                 distinct.push(i);
-                per_instance.push(row);
+                rows.push(row);
             }
         }
-        Ok(QuoteTable { per_instance })
+        Ok(QuoteTable { rows, row_of })
     }
 
     /// Runs the simulation to completion (arrivals stop at the horizon; the
@@ -277,24 +278,53 @@ impl FleetScenario {
 }
 
 /// Memoized per-(instance, class) service quotes.
+///
+/// Stored struct-of-arrays style: one quote row per **distinct** config
+/// plus a per-instance row index, so a homogeneous 100k-instance fleet
+/// carries one row, not 100k copies — the memory term that used to
+/// dominate planet-scale scenarios.
 #[derive(Debug, Clone)]
 pub struct QuoteTable {
-    per_instance: Vec<Vec<ServiceQuote>>,
+    /// One row (quotes for every class, in class order) per distinct
+    /// config, in first-seen instance order.
+    rows: Vec<Vec<ServiceQuote>>,
+    /// Row index of each instance's quotes.
+    row_of: Vec<u32>,
 }
 
 impl QuoteTable {
     /// The quote for `class` on `instance`.
     #[must_use]
     pub fn get(&self, instance: usize, class: usize) -> ServiceQuote {
-        self.per_instance[instance][class]
+        self.rows[self.row_of[instance] as usize][class]
+    }
+
+    /// Number of distinct quote rows (one per distinct config).
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The distinct-row index holding `instance`'s quotes.
+    #[must_use]
+    pub fn row_index(&self, instance: usize) -> usize {
+        self.row_of[instance] as usize
+    }
+
+    /// One distinct row: the quotes for every class, in class order.
+    #[must_use]
+    pub fn row(&self, row: usize) -> &[ServiceQuote] {
+        &self.rows[row]
     }
 
     /// The fleet's fastest marginal service time, seconds — the
     /// cross-shard lookahead floor the windowed driver derives its
     /// generation window from. `f64::INFINITY` on an empty table.
+    /// Folding over distinct rows only is exact: `min` is insensitive
+    /// to the duplicate values the old per-instance walk visited.
     #[must_use]
     pub fn min_per_frame_s(&self) -> f64 {
-        self.per_instance
+        self.rows
             .iter()
             .flatten()
             .map(|q| q.per_frame.as_secs_f64())

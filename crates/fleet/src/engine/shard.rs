@@ -96,26 +96,91 @@ impl CellSpec {
     }
 }
 
+/// Execution shape of a hierarchical (two-level) shard plan.
+///
+/// The **partition** into leaf cells is always the same pure function
+/// of the scenario; the shape only decides how contiguous runs of
+/// leaves are grouped into the scheduling units workers execute — a
+/// plan tree whose root fans out to groups and whose groups fan out to
+/// today's cells. Grouping is therefore *pure scheduling*: every shape
+/// yields the bit-identical [`FleetReport`]
+/// (leaf outcomes always merge in leaf-index order), it only moves
+/// wall-clock between workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanShape {
+    /// Leaf cells per scheduling group (must be ≥ 1). `1` is the flat
+    /// plan: every leaf is its own group — exactly the pre-hierarchy
+    /// engine.
+    pub group_width: usize,
+}
+
+impl PlanShape {
+    /// The flat (single-level) shape: one leaf per group.
+    pub const FLAT: PlanShape = PlanShape { group_width: 1 };
+}
+
+impl Default for PlanShape {
+    fn default() -> Self {
+        PlanShape::FLAT
+    }
+}
+
 /// The deterministic partition of a scenario into shard cells (module
 /// docs describe the scheme and the determinism contract).
 #[derive(Debug, Clone)]
 pub struct ShardPlan {
     pub(crate) cells: Vec<CellSpec>,
     pub(crate) class_to_cell: Vec<usize>,
+    /// Scheduling groups: each entry is a contiguous range of leaf-cell
+    /// indices executed as one unit. Flat plans have one leaf per
+    /// group.
+    pub(crate) groups: Vec<Range<usize>>,
 }
 
 impl ShardPlan {
-    /// Upper bound on the number of cells a plan creates. The actual
-    /// count is `min(classes, instances, MAX_CELLS)` — a cell must own
-    /// at least one class and one instance to be a simulation at all.
-    pub const MAX_CELLS: usize = 32;
+    /// Upper bound on the number of leaf cells a plan creates. The
+    /// actual count is `min(classes, instances, MAX_CELLS)` — a cell
+    /// must own at least one class and one instance to be a simulation
+    /// at all. (The flat engine capped this at 32; grouping lets the
+    /// leaf count scale while workers schedule whole groups.)
+    pub const MAX_CELLS: usize = 1024;
 
-    /// Builds the plan for `scenario`, using `quotes` (when available)
-    /// to size instance slices by service demand rather than raw
-    /// request share. Pure function of the scenario — deliberately
+    /// Builds the flat plan for `scenario`, using `quotes` (when
+    /// available) to size instance slices by service demand rather than
+    /// raw request share. Pure function of the scenario — deliberately
     /// blind to shard and thread counts.
     #[must_use]
     pub fn new(scenario: &FleetScenario, quotes: Option<&QuoteTable>) -> ShardPlan {
+        ShardPlan::try_new(scenario, quotes, PlanShape::FLAT)
+            .expect("the flat shape is always valid")
+    }
+
+    /// Builds a hierarchical plan with the given [`PlanShape`],
+    /// validating the shape first (the error names the offending
+    /// parameter). The leaf partition is identical for every shape;
+    /// only the grouping differs.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::InvalidPlanShape`](crate::FleetError::InvalidPlanShape) when `group_width` is zero.
+    pub fn try_new(
+        scenario: &FleetScenario,
+        quotes: Option<&QuoteTable>,
+        shape: PlanShape,
+    ) -> crate::Result<ShardPlan> {
+        if shape.group_width == 0 {
+            return Err(crate::FleetError::InvalidPlanShape {
+                parameter: "group_width",
+                reason: "must be at least 1 (a scheduling group cannot be empty)".to_string(),
+            });
+        }
+        let mut plan = ShardPlan::flat_partition(scenario, quotes);
+        plan.groups = group_leaves(plan.cells.len(), shape.group_width);
+        Ok(plan)
+    }
+
+    /// The leaf partition (always flat-grouped; `try_new` regroups).
+    fn flat_partition(scenario: &FleetScenario, quotes: Option<&QuoteTable>) -> ShardPlan {
         let n_c = scenario.classes.len();
         let n_i = scenario.instances.len();
         if n_c == 0 || n_i == 0 {
@@ -124,6 +189,7 @@ impl ShardPlan {
             return ShardPlan {
                 cells: vec![CellSpec::whole_fleet(scenario)],
                 class_to_cell: vec![0; n_c],
+                groups: group_leaves(1, 1),
             };
         }
         let l = n_c.min(n_i).min(Self::MAX_CELLS);
@@ -202,15 +268,28 @@ impl ShardPlan {
             })
             .collect();
         ShardPlan {
+            groups: group_leaves(l, 1),
             cells,
             class_to_cell,
         }
     }
 
-    /// Number of cells in the plan.
+    /// Number of leaf cells in the plan.
     #[must_use]
     pub fn n_cells(&self) -> usize {
         self.cells.len()
+    }
+
+    /// Number of scheduling groups (= cells for a flat plan).
+    #[must_use]
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The contiguous leaf-cell range of scheduling group `group`.
+    #[must_use]
+    pub fn group_cells(&self, group: usize) -> Range<usize> {
+        self.groups[group].clone()
     }
 
     /// Global class indices owned by `cell`.
@@ -230,6 +309,14 @@ impl ShardPlan {
     pub fn cell_of_class(&self, class: usize) -> usize {
         self.class_to_cell[class]
     }
+}
+
+/// Chunks `n_leaves` leaf cells into contiguous groups of `width`
+/// (the last group takes the remainder).
+fn group_leaves(n_leaves: usize, width: usize) -> Vec<Range<usize>> {
+    (0..n_leaves.div_ceil(width))
+        .map(|g| g * width..((g + 1) * width).min(n_leaves))
+        .collect()
 }
 
 /// Largest-remainder apportionment of `total` items over `shares`
@@ -328,9 +415,34 @@ impl ArrivalGen {
     }
 }
 
-/// How many windows the generator may run ahead of the slowest shard
-/// (the bounded-channel depth): the conservative lookahead barrier.
-const WINDOWS_IN_FLIGHT: usize = 2;
+/// The whole-fleet arrival stream as a plain iterator: request ids,
+/// classes, times, and per-class ordinals are exactly those of the
+/// engine's own replay, so a horizon of a billion requests streams
+/// through `O(1)` state — nothing ever materializes the vector.
+impl Iterator for ArrivalGen {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        ArrivalGen::next(self)
+    }
+}
+
+/// How many arrival batches the generator may run ahead of the slowest
+/// worker (the bounded-channel depth): the conservative lookahead
+/// barrier. A batch is at most [`ARRIVAL_CHUNK`] requests, so this also
+/// bounds buffered-arrival memory per worker.
+const BATCHES_IN_FLIGHT: usize = 4;
+
+/// Mid-window flush threshold: a cell's arrival buffer is shipped to
+/// its worker as soon as it holds this many requests, so buffered
+/// arrivals stay bounded however long (in requests) a window is.
+const ARRIVAL_CHUNK: usize = 65536;
+
+/// Cap on the *expected* request count of one generation window. With
+/// the chunk flush bounding per-cell buffers this mainly bounds the
+/// per-window bookkeeping sweep; together they keep a billion-request
+/// horizon at a few MB of driver state.
+const MAX_WINDOW_EXPECTED: f64 = 262_144.0;
 
 /// Coarse floor on the window count per run (windows are a pacing and
 /// memory knob, not a correctness one — see the module docs).
@@ -365,6 +477,29 @@ impl FleetScenario {
         self.simulate_sharded_seeded(self.seed, shards, threads)
     }
 
+    /// [`simulate_sharded`](Self::simulate_sharded) with an explicit
+    /// hierarchical [`PlanShape`]: leaves are grouped into scheduling
+    /// units of `shape.group_width` cells and workers execute whole
+    /// groups. The report is bit-identical to the flat shape (and to
+    /// the `shards = 1` oracle) — the shape moves wall-clock, never
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// As [`simulate_sharded`](Self::simulate_sharded), plus
+    /// [`crate::FleetError::InvalidPlanShape`] for a zero
+    /// `group_width`.
+    pub fn simulate_sharded_shaped(
+        &self,
+        shards: usize,
+        threads: usize,
+        shape: PlanShape,
+    ) -> Result<FleetReport> {
+        let pairs = self.sharded_outcomes(self.seed, shards, threads, shape, |_| NullSink)?;
+        let outcomes: Vec<CellOutcome> = pairs.into_iter().map(|(o, _)| o).collect();
+        Ok(merge::assemble(self, &outcomes))
+    }
+
     /// [`simulate_sharded`](Self::simulate_sharded) with the seed
     /// overridden — the entry point seed replication uses, sparing a
     /// scenario deep-copy per replica.
@@ -378,7 +513,7 @@ impl FleetScenario {
         shards: usize,
         threads: usize,
     ) -> Result<FleetReport> {
-        let pairs = self.sharded_outcomes(seed, shards, threads, |_| NullSink)?;
+        let pairs = self.sharded_outcomes(seed, shards, threads, PlanShape::FLAT, |_| NullSink)?;
         let outcomes: Vec<CellOutcome> = pairs.into_iter().map(|(o, _)| o).collect();
         Ok(merge::assemble(self, &outcomes))
     }
@@ -405,7 +540,7 @@ impl FleetScenario {
         cfg: &TraceConfig,
     ) -> Result<(FleetReport, FleetTrace)> {
         let n_classes = self.classes.len();
-        let pairs = self.sharded_outcomes(self.seed, shards, threads, |cell| {
+        let pairs = self.sharded_outcomes(self.seed, shards, threads, PlanShape::FLAT, |cell| {
             TracingSink::new(cell, n_classes, cfg)
         })?;
         let (outcomes, sinks): (Vec<CellOutcome>, Vec<TracingSink>) = pairs.into_iter().unzip();
@@ -425,23 +560,32 @@ impl FleetScenario {
         seed: u64,
         shards: usize,
         threads: usize,
+        shape: PlanShape,
         mut make_sink: impl FnMut(usize) -> S,
     ) -> Result<Vec<(CellOutcome, S)>> {
         self.validate()?;
         let quotes = self.quote_table()?;
-        let plan = ShardPlan::new(self, Some(&quotes));
+        let plan = ShardPlan::try_new(self, Some(&quotes), shape)?;
         let cells: Vec<CellEngine<'_, S>> = plan
             .cells
             .iter()
             .enumerate()
             .map(|(i, spec)| CellEngine::with_sink(self, &quotes, spec, make_sink(i)))
             .collect();
-        let workers = shards.max(1).min(threads.max(1)).min(cells.len());
+        let workers = shards.max(1).min(threads.max(1)).min(plan.n_groups());
         Ok(if workers <= 1 {
             run_serial_sinks(self, seed, cells, &plan.class_to_cell)
         } else {
             let window_s = window_len(self, &quotes);
-            run_windowed(self, seed, cells, &plan.class_to_cell, workers, window_s)
+            run_windowed(
+                self,
+                seed,
+                cells,
+                &plan.class_to_cell,
+                &plan.groups,
+                workers,
+                window_s,
+            )
         })
     }
 }
@@ -453,10 +597,19 @@ impl FleetScenario {
 fn window_len(scenario: &FleetScenario, quotes: &QuoteTable) -> f64 {
     let lookahead = quotes.min_per_frame_s();
     let floor = scenario.horizon_s / MIN_WINDOWS;
-    if lookahead.is_finite() && lookahead > floor {
+    let window = if lookahead.is_finite() && lookahead > floor {
         lookahead
     } else {
         floor
+    };
+    // Cap the window's expected request count so the per-window sweep
+    // stays bounded at planetary arrival rates (the window is pacing,
+    // not correctness — shrinking it never changes the report).
+    let mean = scenario.arrival.mean_rate_rps();
+    if mean.is_finite() && mean * window > MAX_WINDOW_EXPECTED {
+        MAX_WINDOW_EXPECTED / mean
+    } else {
+        window
     }
 }
 
@@ -484,10 +637,40 @@ fn run_serial_sinks<S: TraceSink>(
     class_to_cell: &[usize],
 ) -> Vec<(CellOutcome, S)> {
     let mut gen = ArrivalGen::new(scenario, seed);
-    while let Some(req) = gen.next() {
-        let cell = &mut cells[class_to_cell[req.class]];
-        cell.advance_through(req.arrival_s);
-        cell.admit(req);
+    if cells.len() <= 1 {
+        while let Some(req) = gen.next() {
+            let cell = &mut cells[class_to_cell[req.class]];
+            cell.advance_through(req.arrival_s);
+            cell.admit(req);
+        }
+    } else {
+        // Chunked per-cell batching, still on one thread: cells are
+        // independent, so draining one cell's chunk while others buffer
+        // is a pure reordering of independent work — same outcomes,
+        // much better cache locality than per-arrival cell interleave.
+        // Memory stays bounded by cells × chunk, never the horizon.
+        let mut bufs: Vec<Vec<Request>> = cells
+            .iter()
+            .map(|_| Vec::with_capacity(ARRIVAL_CHUNK))
+            .collect();
+        while let Some(req) = gen.next() {
+            let c = class_to_cell[req.class];
+            bufs[c].push(req);
+            if bufs[c].len() >= ARRIVAL_CHUNK {
+                let cell = &mut cells[c];
+                for req in bufs[c].drain(..) {
+                    cell.advance_through(req.arrival_s);
+                    cell.admit(req);
+                }
+            }
+        }
+        for (c, buf) in bufs.iter_mut().enumerate() {
+            let cell = &mut cells[c];
+            for req in buf.drain(..) {
+                cell.advance_through(req.arrival_s);
+                cell.admit(req);
+            }
+        }
     }
     cells
         .into_iter()
@@ -495,40 +678,53 @@ fn run_serial_sinks<S: TraceSink>(
         .collect()
 }
 
-/// The parallel path: the calling thread generates arrivals in time
-/// windows and ships per-cell batches to `workers` threads over bounded
-/// channels (cells dealt round-robin to workers); each worker advances
-/// its cells through its batches and drains them when the stream closes.
-/// Outcomes are re-ordered by cell index before merging, so the report
-/// is independent of scheduling.
+/// The parallel path: the calling thread streams arrivals (the
+/// [`ArrivalGen`] iterator — nothing is ever materialized per run) and
+/// ships per-cell batches to `workers` threads over bounded channels.
+/// Scheduling **groups** of leaf cells are dealt round-robin to
+/// workers — the hierarchical plan's execution level — and a cell's
+/// buffer is flushed mid-window whenever it fills a chunk, so driver
+/// memory is bounded by chunks and channel depth, not by the horizon's
+/// request count. Each worker advances its cells through its batches in
+/// arrival order and drains them when the stream closes. Outcomes are
+/// re-ordered by leaf index before merging, so the report is
+/// independent of scheduling.
 fn run_windowed<'a, S: TraceSink + Send>(
     scenario: &'a FleetScenario,
     seed: u64,
     cells: Vec<CellEngine<'a, S>>,
     class_to_cell: &[usize],
+    groups: &[Range<usize>],
     workers: usize,
     window_s: f64,
 ) -> Vec<(CellOutcome, S)> {
     let n_cells = cells.len();
-    let mut groups: Vec<Vec<(usize, CellEngine<'a, S>)>> =
+    // Deal whole groups to workers; a worker owns every leaf of its
+    // groups.
+    let mut cell_worker = vec![0usize; n_cells];
+    for (g, leaves) in groups.iter().enumerate() {
+        for c in leaves.clone() {
+            cell_worker[c] = g % workers;
+        }
+    }
+    let mut worker_cells: Vec<Vec<(usize, CellEngine<'a, S>)>> =
         (0..workers).map(|_| Vec::new()).collect();
     for (i, cell) in cells.into_iter().enumerate() {
-        groups[i % workers].push((i, cell));
+        worker_cells[cell_worker[i]].push((i, cell));
     }
-    let cell_worker: Vec<usize> = (0..n_cells).map(|i| i % workers).collect();
 
     let mut outcomes: Vec<Option<(CellOutcome, S)>> = (0..n_cells).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut senders: Vec<mpsc::SyncSender<WindowBatch>> = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
-        for group in groups {
-            let (tx, rx) = mpsc::sync_channel::<WindowBatch>(WINDOWS_IN_FLIGHT);
+        for owned in worker_cells {
+            let (tx, rx) = mpsc::sync_channel::<WindowBatch>(BATCHES_IN_FLIGHT);
             senders.push(tx);
             handles.push(scope.spawn(move || {
-                let mut group = group;
+                let mut owned = owned;
                 for batch in rx {
                     for (cell_idx, reqs) in batch {
-                        let (_, cell) = group
+                        let (_, cell) = owned
                             .iter_mut()
                             .find(|(i, _)| *i == cell_idx)
                             .expect("batch routed to the worker owning its cell");
@@ -538,7 +734,7 @@ fn run_windowed<'a, S: TraceSink + Send>(
                         }
                     }
                 }
-                group
+                owned
                     .into_iter()
                     .map(|(i, cell)| (i, cell.finish_with_sink()))
                     .collect::<Vec<_>>()
@@ -550,13 +746,26 @@ fn run_windowed<'a, S: TraceSink + Send>(
         let mut t_edge = window_s;
         loop {
             while let Some(req) = gen.next_before(t_edge) {
-                bufs[class_to_cell[req.class]].push(req);
+                let cell = class_to_cell[req.class];
+                let buf = &mut bufs[cell];
+                buf.push(req);
+                if buf.len() >= ARRIVAL_CHUNK {
+                    // Mid-window flush: keep the worker fed and the
+                    // buffer bounded. Per-cell arrival order is
+                    // preserved — batches travel the cell's one channel
+                    // in generation order.
+                    let reqs = std::mem::replace(buf, Vec::with_capacity(ARRIVAL_CHUNK));
+                    senders[cell_worker[cell]]
+                        .send(vec![(cell, reqs)])
+                        .expect("worker outlives the generator");
+                }
             }
             for (w, tx) in senders.iter().enumerate() {
                 let mut batch: WindowBatch = Vec::new();
                 for i in 0..n_cells {
                     if cell_worker[i] == w && !bufs[i].is_empty() {
-                        batch.push((i, std::mem::take(&mut bufs[i])));
+                        let hint = bufs[i].len().min(ARRIVAL_CHUNK);
+                        batch.push((i, std::mem::replace(&mut bufs[i], Vec::with_capacity(hint))));
                     }
                 }
                 if !batch.is_empty() {
@@ -579,4 +788,163 @@ fn run_windowed<'a, S: TraceSink + Send>(
         .into_iter()
         .map(|o| o.expect("every cell reports exactly once"))
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ArrivalProcess, NetworkClass};
+    use crate::FleetError;
+    use pcnna_core::PcnnaConfig;
+
+    fn scenario(n_classes: usize, n_instances: usize) -> FleetScenario {
+        FleetScenario {
+            classes: (0..n_classes)
+                .map(|i| NetworkClass::lenet5(0.002 + 0.001 * i as f64, 1.0))
+                .collect(),
+            arrival: ArrivalProcess::Poisson { rate_rps: 20_000.0 },
+            instances: vec![PcnnaConfig::default(); n_instances],
+            horizon_s: 0.02,
+            queue_capacity: 10_000,
+            seed: 7,
+            ..FleetScenario::default()
+        }
+    }
+
+    #[test]
+    fn zero_group_width_is_rejected_and_names_the_parameter() {
+        let s = scenario(4, 8);
+        let err = ShardPlan::try_new(&s, None, PlanShape { group_width: 0 })
+            .expect_err("a zero-width group cannot schedule anything");
+        match err {
+            FleetError::InvalidPlanShape { parameter, .. } => {
+                assert_eq!(parameter, "group_width");
+            }
+            other => panic!("wrong error variant: {other}"),
+        }
+        // and the message points at the knob by name
+        let s2 = scenario(4, 8);
+        let msg = ShardPlan::try_new(&s2, None, PlanShape { group_width: 0 })
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("group_width"), "{msg}");
+    }
+
+    #[test]
+    fn degenerate_single_cell_plan() {
+        // One class ⇒ one cell owning the whole fleet, one group.
+        let s = scenario(1, 8);
+        let plan = ShardPlan::new(&s, None);
+        assert_eq!(plan.cells.len(), 1);
+        assert_eq!(plan.n_groups(), 1);
+        assert_eq!(plan.cells[0].instances, 0..8);
+        assert_eq!(plan.cells[0].queue_capacity, s.queue_capacity);
+        // any group width still yields the one group
+        let wide = ShardPlan::try_new(&s, None, PlanShape { group_width: 64 }).unwrap();
+        assert_eq!(wide.n_groups(), 1);
+    }
+
+    #[test]
+    fn degenerate_one_instance_per_cell() {
+        // classes == instances: every cell gets exactly one instance.
+        let s = scenario(4, 4);
+        let plan = ShardPlan::new(&s, None);
+        assert_eq!(plan.cells.len(), 4);
+        for cell in &plan.cells {
+            assert_eq!(cell.instances.len(), 1);
+        }
+        // instance ranges tile 0..4 contiguously
+        let mut next = 0;
+        for cell in &plan.cells {
+            assert_eq!(cell.instances.start, next);
+            next = cell.instances.end;
+        }
+        assert_eq!(next, 4);
+    }
+
+    #[test]
+    fn degenerate_more_classes_than_instances() {
+        // 6 classes over 2 instances: the plan can build at most 2
+        // cells (a cell must own at least one instance), and every
+        // class still lands in exactly one cell.
+        let s = scenario(6, 2);
+        let plan = ShardPlan::new(&s, None);
+        assert!(plan.cells.len() <= 2, "{} cells", plan.cells.len());
+        assert_eq!(plan.class_to_cell.len(), 6);
+        let mut owned = [0usize; 6];
+        for (class, &cell) in plan.class_to_cell.iter().enumerate() {
+            assert!(cell < plan.cells.len());
+            assert!(plan.cells[cell].classes.contains(&class));
+            owned[class] += 1;
+        }
+        assert!(owned.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn grouping_tiles_leaves_contiguously() {
+        let s = scenario(16, 64);
+        for width in [1usize, 2, 4, 5, 8, 16, 100] {
+            let plan = ShardPlan::try_new(&s, None, PlanShape { group_width: width }).unwrap();
+            let n_leaves = plan.cells.len();
+            assert_eq!(plan.n_groups(), n_leaves.div_ceil(width));
+            let mut next = 0;
+            for g in 0..plan.n_groups() {
+                let leaves = plan.group_cells(g);
+                assert_eq!(leaves.start, next);
+                assert!(leaves.len() <= width);
+                next = leaves.end;
+            }
+            assert_eq!(next, n_leaves);
+        }
+    }
+
+    #[test]
+    fn streaming_iterator_matches_windowed_stepping() {
+        // The streaming contract: driving ArrivalGen through
+        // `next_before` window edges (what the sharded driver does)
+        // must reproduce the plain iterator's event sequence exactly —
+        // same ids, same classes, same arrival instants, for any
+        // window length. Ids are per-run ordinals, so equality here is
+        // what keeps stride-sampled trace ids shard-layout-independent.
+        for seed in [0u64, 7, 42, 1234] {
+            let s = FleetScenario {
+                seed,
+                ..scenario(4, 8)
+            };
+            let materialized: Vec<Request> = ArrivalGen::new(&s, seed).collect();
+            assert!(!materialized.is_empty());
+            for window_s in [1e-4, 7.3e-4, 5e-3, 1.0] {
+                let mut gen = ArrivalGen::new(&s, seed);
+                let mut streamed: Vec<Request> = Vec::new();
+                let mut t_edge = window_s;
+                loop {
+                    while let Some(req) = gen.next_before(t_edge) {
+                        streamed.push(req);
+                    }
+                    if gen.exhausted() {
+                        break;
+                    }
+                    t_edge += window_s;
+                }
+                assert_eq!(materialized, streamed, "window {window_s}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_plan_shape_reproduces_the_flat_report() {
+        // Grouping is pure scheduling: the report is bit-identical for
+        // every shape at every worker count.
+        let s = scenario(8, 24);
+        let oracle = s.simulate_sharded(1, 1).unwrap();
+        assert!(oracle.completed > 0);
+        for width in [1usize, 2, 4, 8] {
+            for threads in [1usize, 4] {
+                let r = s
+                    .simulate_sharded_shaped(8, threads, PlanShape { group_width: width })
+                    .unwrap();
+                assert_eq!(oracle, r, "width {width} threads {threads}");
+            }
+        }
+    }
 }

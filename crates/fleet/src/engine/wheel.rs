@@ -273,6 +273,36 @@ impl TimingWheel {
         Some(ev)
     }
 
+    /// Drains **every** pending event at the earliest pending timestamp
+    /// into `out`, appended in exact pop order (ascending
+    /// `(time, instance, epoch)` key). Returns the number drained.
+    ///
+    /// This is the batched form of [`TimingWheel::pop`]: the front
+    /// bucket holds precisely the events whose time bits equal the
+    /// wheel's floor, so one call surfaces the whole same-instant
+    /// cohort with a single `advance` instead of one radix walk per
+    /// event. Calling `pop_front_batch` then `pop` interleaves safely —
+    /// both observe the same floor — and events pushed *while the
+    /// caller processes the batch* (at or after the batch's timestamp,
+    /// per the wheel's monotonicity contract) simply surface in a later
+    /// call, exactly as they would under one-at-a-time pops of the
+    /// already-drained cohort.
+    pub fn pop_front_batch(&mut self, out: &mut Vec<WheelEvent>) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        if self.buckets[0].is_empty() {
+            self.advance();
+        }
+        let n = self.buckets[0].len();
+        // Sorted descending, popped off the back ⇒ ascending is reverse.
+        out.extend(self.buckets[0].drain(..).rev());
+        self.len -= n;
+        self.pops += n as u64;
+        self.occupied &= !1u128;
+        n
+    }
+
     /// Advances the floor to the earliest pending event and drains its
     /// level: the batch sharing the new floor's time bits lands in the
     /// front bucket (sorted once, popped off the back); everything else
@@ -400,6 +430,48 @@ mod tests {
         assert_eq!(n, 0);
         assert_eq!(w.peek(), None);
         assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn pop_front_batch_drains_exactly_the_same_instant_cohort() {
+        let mut w = TimingWheel::new();
+        for (i, t) in [2.0, 1.0, 1.0, 3.0, 1.0].into_iter().enumerate() {
+            w.push(EventTime::try_new(t).unwrap(), i as u32, 0);
+        }
+        let mut batch = Vec::new();
+        assert_eq!(w.pop_front_batch(&mut batch), 3);
+        let got: Vec<(f64, u32)> = batch.iter().map(|e| (e.at.get(), e.instance)).collect();
+        assert_eq!(got, vec![(1.0, 1), (1.0, 2), (1.0, 4)]);
+        assert_eq!(w.len(), 2);
+        // interleaves with single pops — same floor, same order
+        assert_eq!(w.pop().unwrap().at.get(), 2.0);
+        batch.clear();
+        assert_eq!(w.pop_front_batch(&mut batch), 1);
+        assert_eq!(batch[0].at.get(), 3.0);
+        assert!(w.is_empty());
+        assert_eq!(w.pop_front_batch(&mut batch), 0);
+    }
+
+    #[test]
+    fn pop_front_batch_matches_sequential_pops() {
+        let mk = || {
+            let mut w = TimingWheel::new();
+            let times = [5.0, 0.125, 0.125, 3.75, 0.125, 2.0, 5.0, 1e-3];
+            for (i, &t) in times.iter().enumerate() {
+                w.push(EventTime::try_new(t).unwrap(), i as u32, i as u32);
+            }
+            w
+        };
+        let mut singles = Vec::new();
+        let mut a = mk();
+        while let Some(ev) = a.pop() {
+            singles.push(ev);
+        }
+        let mut batched = Vec::new();
+        let mut b = mk();
+        while b.pop_front_batch(&mut batched) > 0 {}
+        assert_eq!(batched, singles);
+        assert_eq!(b.pops(), a.pops());
     }
 
     #[test]

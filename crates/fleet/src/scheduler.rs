@@ -152,10 +152,22 @@ impl ClassQueues {
     /// first), in arrival order. The engine's hot loop feeds this a warm
     /// arena buffer, so steady-state dispatch allocates nothing.
     pub fn pop_batch_into(&mut self, class: usize, max_batch: u64, out: &mut Vec<Request>) {
-        let take = (max_batch as usize).min(self.queues[class].len());
+        let q = &mut self.queues[class];
+        let take = (max_batch as usize).min(q.len());
         self.len -= take;
         out.clear();
-        out.extend(self.queues[class].drain(..take));
+        // Slice copies instead of the deque's per-element iterator:
+        // requests are `Copy`, so the front of the ring is at most two
+        // memcpys, and the drain (whose drop just advances the head for
+        // a prefix range) never walks elements.
+        let (front, back) = q.as_slices();
+        if take <= front.len() {
+            out.extend_from_slice(&front[..take]);
+        } else {
+            out.extend_from_slice(front);
+            out.extend_from_slice(&back[..take - front.len()]);
+        }
+        q.drain(..take);
     }
 
     /// Sheds the youngest queued requests of `class` until at most `keep`

@@ -437,6 +437,38 @@ proptest! {
     }
 
     #[test]
+    fn hierarchical_plan_shapes_are_bit_identical_across_threads(
+        seed in 0u64..1_000,
+    ) {
+        // The hierarchical extension of the determinism contract: the
+        // partition into leaf cells never depends on the plan shape, so
+        // grouping leaves into wider scheduling units — flat (1 leaf
+        // per group), 2-wide, 4-wide — must reproduce the shards = 1
+        // oracle bit for bit at every thread count, chaos included.
+        let base = chaos_base(seed);
+        let cfg = ChaosConfig { seed, ..ChaosConfig::default() };
+        for kind in ChaosKind::ALL {
+            let scenario = FleetScenario {
+                faults: chaos_timeline(kind, &base.instances, base.horizon_s, &cfg),
+                ..base.clone()
+            };
+            let oracle = scenario.simulate_sharded(1, 1).unwrap();
+            prop_assert!(oracle.completed > 0, "{kind:?}");
+            for group_width in [1usize, 2, 4] {
+                let shape = PlanShape { group_width };
+                for threads in [1usize, 8] {
+                    let r = scenario.simulate_sharded_shaped(8, threads, shape).unwrap();
+                    prop_assert_eq!(
+                        &oracle, &r,
+                        "{:?} diverged at group_width={} threads={}",
+                        kind, group_width, threads
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn replication_on_the_shard_engine_is_thread_invariant(
         seed in 0u64..1_000,
     ) {
